@@ -1,0 +1,45 @@
+"""Ablation: data declustering strategies (the paper's future work).
+
+Sec. 7 names "the effects of various data declustering strategies" as an
+open question; this benchmark answers it for the four implemented
+strategies at a fixed server count.
+"""
+
+from repro.core.types import knn_query
+from repro.experiments.runner import dataset_k, get_dataset, workload_queries
+from repro.parallel import ParallelDatabase
+
+
+def test_declustering_ablation(benchmark, config):
+    dataset = get_dataset("astronomy", config)
+    n_servers = max(config.server_counts[1], 2)
+    n_queries = config.parallel_base_m * n_servers
+    indices = workload_queries("astronomy", config, n_queries=n_queries)
+    queries = [dataset[i] for i in indices]
+    qtype = knn_query(dataset_k("astronomy", config))
+
+    def run_all():
+        results = {}
+        for strategy in ("round_robin", "random", "hash", "range"):
+            cluster = ParallelDatabase(
+                dataset, n_servers=n_servers, access="scan", decluster=strategy
+            )
+            run = cluster.multiple_similarity_query(
+                queries, qtype, db_indices=indices
+            )
+            results[strategy] = run
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\nDeclustering strategies (astronomy / scan, s={n_servers}):")
+    for strategy, run in results.items():
+        skew = run.elapsed_seconds / (run.aggregate_seconds / n_servers)
+        print(
+            f"  {strategy:>12}: elapsed={run.elapsed_seconds:7.3f}s "
+            f"aggregate={run.aggregate_seconds:7.3f}s load-skew={skew:5.2f}"
+        )
+    # Balanced strategies must not be slower than contiguous ranges.
+    assert (
+        results["round_robin"].elapsed_seconds
+        <= results["range"].elapsed_seconds * 1.25
+    )

@@ -1,0 +1,46 @@
+"""Ablation: eager vs. lazy query-distance matrix (paper Sec. 7 future work).
+
+The paper charges (m-1)m/2 pair distances per block upfront and names
+reducing this overhead as future work.  Lazy filling computes a pair
+only when it is first consulted as an avoidance pivot, which matters
+most at parallel block sizes where the quadratic term caps the speed-up.
+"""
+
+from repro.core.types import knn_query
+from repro.experiments.runner import build_database, dataset_k, workload_queries
+
+
+def test_matrix_mode_ablation(benchmark, config):
+    database = build_database("astronomy", "scan", config)
+    indices = workload_queries("astronomy", config)
+    queries = [database.dataset[i] for i in indices]
+    qtype = knn_query(dataset_k("astronomy", config))
+
+    def run_all():
+        results = {}
+        for mode in ("eager", "lazy"):
+            database.cold()
+            processor = database.processor(matrix_mode=mode)
+            with database.measure() as handle:
+                answers = processor.query_all(queries, [qtype] * len(queries))
+            results[mode] = (handle, answers)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\nQuery-distance matrix mode (astronomy / scan, m = %d):" % len(queries))
+    for mode, (handle, _) in results.items():
+        counters = handle.counters
+        print(
+            f"  {mode:>5}: matrix-dists={counters.query_matrix_distance_calculations:>7,} "
+            f"cpu={handle.cpu_seconds:7.3f}s total={handle.total_seconds:7.3f}s"
+        )
+    eager_handle, eager_answers = results["eager"]
+    lazy_handle, lazy_answers = results["lazy"]
+    # Identical answers, never more matrix work.
+    assert [
+        [a.index for a in ans] for ans in eager_answers
+    ] == [[a.index for a in ans] for ans in lazy_answers]
+    assert (
+        lazy_handle.counters.query_matrix_distance_calculations
+        <= eager_handle.counters.query_matrix_distance_calculations
+    )

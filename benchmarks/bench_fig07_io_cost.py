@@ -1,0 +1,24 @@
+"""Figure 7: average I/O cost per similarity query vs. m.
+
+Paper: the X-tree beats the scan by 4.5x / 3.1x for single queries; at
+m = 100 the scan's I/O drops by a factor of ~m and the X-tree's by
+8.7x / 15x.
+"""
+
+from conftest import run_once
+from repro.experiments import run_figure7
+
+
+def test_figure7(benchmark, config):
+    result = run_once(benchmark, run_figure7, config)
+    print()
+    print(result.render())
+    m_lo, m_hi = config.m_values[0], config.m_values[-1]
+    for name in ("astronomy", "image"):
+        scan = result.series_by_label(f"{name} / linear scan")
+        xtree = result.series_by_label(f"{name} / X-tree")
+        # Scan I/O reduction is essentially the block size.
+        assert scan.values[0] / scan.values[-1] > 0.8 * m_hi / m_lo
+        # The X-tree profits less but clearly profits.
+        assert xtree.values[0] / xtree.values[-1] > 2
+    benchmark.extra_info["figure"] = "7"

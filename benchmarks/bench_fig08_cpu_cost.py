@@ -1,0 +1,27 @@
+"""Figure 8: average CPU cost per similarity query vs. m.
+
+Paper: triangle-inequality avoidance cuts the scan's CPU cost by 7.1x
+(astronomy) / 28x (image) at m = 100, and the X-tree's by 2.1x.
+"""
+
+from conftest import full_scale, run_once
+from repro.experiments import run_figure8
+
+
+def test_figure8(benchmark, config):
+    result = run_once(benchmark, run_figure8, config)
+    print()
+    print(result.render())
+    for name in ("astronomy", "image"):
+        scan = result.series_by_label(f"{name} / linear scan")
+        xtree = result.series_by_label(f"{name} / X-tree")
+        assert scan.values[0] / scan.values[-1] > 1  # avoidance always pays
+        if full_scale(config):
+            assert scan.values[0] / scan.values[-1] > 2
+            assert xtree.values[0] / xtree.values[-1] > 1
+            # The paper: the scan profits more than the X-tree (relative).
+            assert (
+                scan.values[0] / scan.values[-1]
+                > xtree.values[0] / xtree.values[-1]
+            )
+    benchmark.extra_info["figure"] = "8"

@@ -1,0 +1,24 @@
+"""Figure 9: average total query cost vs. m and the scan/X-tree crossover.
+
+Paper: the scan overtakes the X-tree at m >= 10 (astronomy) and
+m >= 100 (image); at m = 100 the scan is CPU-bound.
+"""
+
+from conftest import full_scale, run_once
+from repro.experiments import run_figure9
+
+
+def test_figure9(benchmark, config):
+    result = run_once(benchmark, run_figure9, config)
+    print()
+    print(result.render())
+    for name in ("astronomy", "image"):
+        scan = result.series_by_label(f"{name} / linear scan")
+        xtree = result.series_by_label(f"{name} / X-tree")
+        # Batching monotonically reduces the scan's total cost.
+        assert scan.values[-1] < scan.values[0]
+        if full_scale(config):
+            # Single query: the index wins; largest m: scan wins or ties.
+            assert xtree.values[0] < scan.values[0]
+            assert scan.values[-1] <= xtree.values[-1] * 1.5
+    benchmark.extra_info["figure"] = "9"

@@ -1,0 +1,28 @@
+"""Figure 10: speed-up of the multiple similarity query w.r.t. m.
+
+Paper at m = 100: scan 28x / 68x, X-tree 7.2x / 12.1x; the clustered
+image database always gains more.
+"""
+
+from conftest import run_once
+from repro.experiments import run_figure10
+
+
+def test_figure10(benchmark, config):
+    result = run_once(benchmark, run_figure10, config)
+    print()
+    print(result.render())
+    astro_scan = result.series_by_label("astronomy / linear scan")
+    astro_xtree = result.series_by_label("astronomy / X-tree")
+    image_scan = result.series_by_label("image / linear scan")
+    image_xtree = result.series_by_label("image / X-tree")
+    # Everyone gains and the gain grows with m.
+    for series in result.series:
+        assert series.values == sorted(series.values)
+        assert series.values[-1] > 2
+    # The paper's orderings: scan gains more than the X-tree, the image
+    # database more than the astronomy database.
+    assert astro_scan.values[-1] > astro_xtree.values[-1]
+    assert image_scan.values[-1] > astro_scan.values[-1]
+    assert image_xtree.values[-1] > astro_xtree.values[-1]
+    benchmark.extra_info["figure"] = "10"

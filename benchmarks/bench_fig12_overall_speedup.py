@@ -1,0 +1,20 @@
+"""Figure 12: overall speed-up (parallel multiple vs. sequential single).
+
+Paper: combining both techniques with 16 servers yields speed-ups in
+the order of 100 (index) to 300 (scan).
+"""
+
+from conftest import run_once
+from repro.experiments import run_figure12
+
+
+def test_figure12(benchmark, config):
+    result = run_once(benchmark, run_figure12, config)
+    print()
+    print(result.render())
+    for series in result.series:
+        assert all(v > 1 for v in series.values)
+    # The combined effect on the scan reaches two orders of magnitude.
+    astro_scan = result.series_by_label("astronomy / linear scan")
+    assert max(astro_scan.values) > 20
+    benchmark.extra_info["figure"] = "12"

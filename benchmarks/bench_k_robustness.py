@@ -1,0 +1,16 @@
+"""Sec. 6 robustness claim: per-query cost is quite robust to k."""
+
+from conftest import run_once
+from repro.experiments import run_k_robustness
+
+
+def test_k_robustness(benchmark, config):
+    result = run_once(benchmark, run_k_robustness, config)
+    print()
+    print(result.render())
+    for series in result.series:
+        # Cost varies far less than k itself (k sweeps over 50x).
+        k_spread = config.k_values[-1] / config.k_values[0]
+        cost_spread = max(series.values) / min(series.values)
+        assert cost_spread < k_spread / 2
+    benchmark.extra_info["figure"] = "sec 6 (k)"

@@ -1,0 +1,19 @@
+"""The paper's motivating claim: whole mining algorithms get cheaper.
+
+Sec. 3.3: the transformation to ExploreNeighborhoodsMultiple is purely
+syntactic, so DBSCAN, k-NN classification and manual exploration produce
+identical output -- at a fraction of the modelled cost.
+"""
+
+from conftest import run_once
+from repro.experiments import run_mining_speedup
+
+
+def test_mining_speedup(benchmark, config):
+    result = run_once(benchmark, run_mining_speedup, config)
+    print()
+    print(result.render())
+    for series in result.series:
+        single, multiple, speedup = series.values
+        assert multiple < single  # batching always pays end to end
+        assert speedup > 1

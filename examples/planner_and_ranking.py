@@ -1,0 +1,55 @@
+"""Workload planning and incremental ranking.
+
+Two capabilities layered on the paper's operator:
+
+* the **query planner** automates Sec. 6.3's observation that the best
+  access method flips from index to scan as the batch size grows;
+* **incremental ranking** ([13]) delivers neighbours one at a time, for
+  queries whose cut-off is not known upfront.
+
+Run:  python examples/planner_and_ranking.py
+"""
+
+import itertools
+
+from repro import knn_query, neighbors_within_factor
+from repro.core.planner import QueryPlanner
+from repro.core.ranking import neighbor_ranking
+from repro.workloads import make_gaussian_mixture
+
+
+def main() -> None:
+    dataset = make_gaussian_mixture(
+        n=12_000, dimension=10, n_clusters=25, cluster_std=0.03, seed=2
+    )
+
+    # --- planning: how should this workload be executed? --------------
+    planner = QueryPlanner(dataset, probe_queries=8)
+    print("== query planner ==")
+    for n_queries in (1, 10, 500):
+        plan = planner.plan(n_queries=n_queries, qtype=knn_query(10))
+        print(f"\nworkload of {n_queries} k-NN queries:")
+        print(plan.describe())
+
+    # --- incremental ranking ------------------------------------------
+    print("\n== incremental ranking ==")
+    database = planner.database_for(
+        planner.plan(n_queries=1, qtype=knn_query(10))
+    )
+    query = dataset[0]
+    with database.measure() as run:
+        first_five = list(itertools.islice(neighbor_ranking(database, query), 5))
+    print("five nearest, lazily:", [(a.index, round(a.distance, 4)) for a in first_five])
+    pages = run.counters.page_reads + run.counters.buffer_hits
+    total = len(database.access_method.data_pages())
+    print(f"pages touched: {pages} of {total} data pages")
+
+    # Neighbours until the distance doubles relative to the nearest
+    # non-identical object -- no k, no radius known upfront.
+    probe = dataset[1] + 0.001  # slightly off a member: nearest distance > 0
+    cohort = neighbors_within_factor(database, probe, factor=2.0)
+    print(f"neighbours within 2x of the nearest: {len(cohort)}")
+
+
+if __name__ == "__main__":
+    main()

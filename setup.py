@@ -1,0 +1,5 @@
+"""Legacy entry point for environments without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""Answer lists with the query-distance semantics of Fig. 1.
+
+The answer list of a similarity query keeps at most ``T.cardinality``
+answers within distance ``T.range`` and exposes the *current query
+distance* (``QueryDist`` in the paper): the radius beyond which no
+object can improve the answer set.  For k-NN queries the radius shrinks
+to the k-th best distance once k candidates are known; for range queries
+it stays at ``eps``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, NamedTuple
+
+from repro.core.types import QueryType
+
+
+class Answer(NamedTuple):
+    """One answer: dataset index and distance to the query object."""
+
+    index: int
+    distance: float
+
+
+class AnswerList:
+    """Bounded, radius-tracking answer collection for one query."""
+
+    __slots__ = ("qtype", "_heap", "_items")
+
+    def __init__(self, qtype: QueryType):
+        self.qtype = qtype
+        if qtype.adapts_radius:
+            # Max-heap of (-distance, -index) keeping the k best answers.
+            self._heap: list[tuple[float, int]] = []
+            self._items = None
+        else:
+            self._heap = []
+            self._items: list[Answer] | None = []
+
+    @property
+    def radius(self) -> float:
+        """Current query distance (``QueryDist``).
+
+        Objects at a distance strictly greater than this radius cannot
+        enter the answer set any more.
+        """
+        if not self.qtype.adapts_radius:
+            return self.qtype.range
+        if len(self._heap) < self.qtype.k:
+            return self.qtype.range
+        return -self._heap[0][0]
+
+    def __len__(self) -> int:
+        if self._items is not None:
+            return len(self._items)
+        return len(self._heap)
+
+    def offer(self, index: int, distance: float) -> bool:
+        """Consider one candidate; return whether it was accepted.
+
+        Implements ``Answers.insert`` / ``remove_last_element`` of
+        Fig. 1: candidates beyond the range are rejected, and once the
+        cardinality is reached only strictly closer candidates displace
+        the current k-th answer.
+        """
+        if distance > self.qtype.range:
+            return False
+        if self._items is not None:
+            self._items.append(Answer(index, distance))
+            return True
+        entry = (-distance, -index)
+        if len(self._heap) < self.qtype.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def offer_many(self, indices: Iterable[int], distances: Iterable[float]) -> None:
+        """Consider candidates in order (page processing helper)."""
+        for index, distance in zip(indices, distances):
+            self.offer(int(index), float(distance))
+
+    def materialize(self) -> list[Answer]:
+        """Return the answers in ascending order of distance.
+
+        Ties are broken by ascending dataset index so that both query
+        engines produce identical output.
+        """
+        if self._items is not None:
+            return sorted(self._items, key=lambda a: (a.distance, a.index))
+        return sorted(
+            (Answer(-neg_index, -neg_dist) for neg_dist, neg_index in self._heap),
+            key=lambda a: (a.distance, a.index),
+        )
+
+    @property
+    def is_saturated(self) -> bool:
+        """Whether the cardinality bound has been reached (k-NN only)."""
+        return self.qtype.adapts_radius and len(self._heap) >= self.qtype.k
+
+    def __repr__(self) -> str:
+        radius = self.radius
+        radius_repr = "inf" if math.isinf(radius) else f"{radius:.4g}"
+        return f"AnswerList(n={len(self)}, radius={radius_repr})"

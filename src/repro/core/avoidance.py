@@ -1,0 +1,205 @@
+"""Triangle-inequality distance avoidance (Sec. 5.2, Lemmas 1 and 2).
+
+Given the distances between all pairs of query objects (the query
+distance matrix) and the distances between the current database object
+``O`` and some already-handled query objects ``Q_j``, the calculation of
+``dist(O, Q_i)`` is *avoidable* when either lemma proves it exceeds the
+current query distance ``r_i``:
+
+* Lemma 1: ``dist(O, Q_j) >  dist(Q_i, Q_j) + r_i``  (``O`` far, queries close)
+* Lemma 2: ``dist(Q_i, Q_j) >  dist(O, Q_j) + r_i``  (``O`` close, queries far)
+
+Both conditions use a strict inequality so the conclusion
+``dist(O, Q_i) > r_i`` is strict, which keeps boundary objects
+(``dist == eps``) in range-query answers, as Definition 2 requires.
+
+Every evaluated lemma counts as one *avoiding try* (the paper's
+``avoiding_tries`` term in the CPU cost formula); per object the tries
+stop at the first success.  Two implementations with identical counting
+semantics are provided: :func:`avoid_reference` (object-at-a-time, the
+literal Fig. 4 loop) and :func:`avoid_vectorized` (page-at-a-time with
+numpy, used at benchmark scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.costmodel import Counters
+from repro.metric.space import MetricSpace
+
+
+#: Default bound on how many known queries ("pivots") are consulted per
+#: avoidance decision.  An unbounded search can spend more time on failed
+#: comparisons than the avoided distance calculation would have cost
+#: (2 * (m-1) comparisons vs. one distance, and the paper's own parallel
+#: results with m = 1600 are only consistent with a bounded search).
+#: 32 pivots keep the worst case per object at ``64 * t_cmp``, about one
+#: distance calculation at 20-d, while catching nearly all avoidable
+#: calculations at every block size -- see the avoidance-pivots ablation
+#: benchmark.  Non-positive means unbounded.
+DEFAULT_MAX_PIVOTS = 32
+
+
+def avoid_vectorized(
+    known: np.ndarray,
+    query_to_known: np.ndarray,
+    radius: float,
+    counters: Counters,
+    max_pivots: int = DEFAULT_MAX_PIVOTS,
+    use_lemma1: bool = True,
+    use_lemma2: bool = True,
+) -> np.ndarray:
+    """Vectorised avoidance test for one query over a page of objects.
+
+    Parameters
+    ----------
+    known:
+        Array of shape ``(n_known, n_objects)``: row ``j`` holds the
+        distances of each page object to the already-handled query
+        ``Q_j``; entries are NaN where that distance itself was avoided
+        (an unknown value can never be used in a lemma).
+    query_to_known:
+        Array of shape ``(n_known,)``: ``dist(Q_i, Q_j)`` from the query
+        distance matrix.
+    radius:
+        The current query distance ``r_i`` of ``Q_i``.
+    max_pivots:
+        Consult at most this many known queries; non-positive means
+        unbounded.
+    use_lemma1, use_lemma2:
+        Per-lemma switches for the ablation study; both default on.
+
+    Returns
+    -------
+    Boolean mask over the page objects: ``True`` where computing
+    ``dist(O, Q_i)`` is avoidable.
+    """
+    n_objects = known.shape[1] if known.size else 0
+    avoided = np.zeros(n_objects, dtype=bool)
+    if known.size == 0 or math.isinf(radius):
+        return avoided
+    n_known = known.shape[0]
+    if max_pivots > 0:
+        n_known = min(n_known, max_pivots)
+    active = np.ones(n_objects, dtype=bool)
+    for j in range(n_known):
+        row = known[j]
+        candidates = active & ~np.isnan(row)
+        n_candidates = int(np.count_nonzero(candidates))
+        if n_candidates == 0:
+            continue
+        if use_lemma1:
+            # Lemma 1: dist(O, Q_j) > dist(Q_i, Q_j) + r_i
+            counters.avoidance_tries += n_candidates
+            lemma1 = candidates & (row > query_to_known[j] + radius)
+        else:
+            lemma1 = np.zeros(n_objects, dtype=bool)
+        remaining = candidates & ~lemma1
+        if use_lemma2:
+            # Lemma 2: dist(Q_i, Q_j) > dist(O, Q_j) + r_i
+            counters.avoidance_tries += int(np.count_nonzero(remaining))
+            lemma2 = remaining & (query_to_known[j] > row + radius)
+        else:
+            lemma2 = np.zeros(n_objects, dtype=bool)
+        newly_avoided = lemma1 | lemma2
+        avoided |= newly_avoided
+        active &= ~newly_avoided
+        if not active.any():
+            break
+    counters.avoided_calculations += int(np.count_nonzero(avoided))
+    return avoided
+
+
+def avoid_reference(
+    known_for_object: Sequence[tuple[float, float]],
+    radius: float,
+    counters: Counters,
+    use_lemma1: bool = True,
+    use_lemma2: bool = True,
+) -> bool:
+    """Object-at-a-time avoidance test (the literal Fig. 4 inner loop).
+
+    ``known_for_object`` holds ``(dist(O, Q_j), dist(Q_i, Q_j))`` pairs
+    for the already-handled queries whose distance to ``O`` was actually
+    computed, in handling order, already truncated to the pivot cap by
+    the caller.  Returns whether ``dist(O, Q_i)`` is avoidable, charging
+    one try per evaluated lemma and stopping at the first success -- the
+    same counting as :func:`avoid_vectorized`.
+    """
+    if math.isinf(radius):
+        return False
+    avoided = False
+    for object_to_known, query_to_known in known_for_object:
+        if use_lemma1:
+            counters.avoidance_tries += 1
+            if object_to_known > query_to_known + radius:  # Lemma 1
+                avoided = True
+                break
+        if use_lemma2:
+            counters.avoidance_tries += 1
+            if query_to_known > object_to_known + radius:  # Lemma 2
+                avoided = True
+                break
+    if avoided:
+        counters.avoided_calculations += 1
+    return avoided
+
+
+class PairwiseDistanceCache:
+    """Query-to-query distances (``QObjDists`` in Fig. 4), cached.
+
+    The paper charges ``(m-1) * m / 2`` distance calculations per
+    multiple similarity query for the matrix initialisation.  Within an
+    incremental processor the same pair may be needed by many successive
+    calls; it is computed (and charged) exactly once and dropped when a
+    query retires.
+    """
+
+    def __init__(self, space: MetricSpace):
+        self._space = space
+        self._pairs: dict[tuple[Hashable, Hashable], float] = {}
+
+    @staticmethod
+    def _key(a: Hashable, b: Hashable) -> tuple[Hashable, Hashable]:
+        return (a, b) if a <= b else (b, a)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def get(self, key_a: Hashable, obj_a: Any, key_b: Hashable, obj_b: Any) -> float:
+        """Distance between two query objects, computing it on first use."""
+        key = self._key(key_a, key_b)
+        value = self._pairs.get(key)
+        if value is None:
+            value = self._space.d_query_pair(obj_a, obj_b)
+            self._pairs[key] = value
+        return value
+
+    def matrix(
+        self, keys: Sequence[Hashable], objs: Sequence[Any]
+    ) -> np.ndarray:
+        """Symmetric distance matrix over the given queries.
+
+        Missing pairs are computed and charged; the diagonal is zero.
+        """
+        m = len(keys)
+        matrix = np.zeros((m, m), dtype=float)
+        for i in range(m):
+            for j in range(i + 1, m):
+                value = self.get(keys[i], objs[i], keys[j], objs[j])
+                matrix[i, j] = matrix[j, i] = value
+        return matrix
+
+    def drop(self, key_a: Hashable) -> None:
+        """Forget every cached pair involving ``key_a`` (query retired)."""
+        stale = [pair for pair in self._pairs if key_a in pair]
+        for pair in stale:
+            del self._pairs[pair]
+
+    def clear(self) -> None:
+        """Drop all cached pairs."""
+        self._pairs.clear()

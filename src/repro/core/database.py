@@ -1,0 +1,283 @@
+"""The database facade tying the substrates together.
+
+:class:`Database` owns one dataset, one instrumented metric space, one
+simulated disk and one access method, and exposes the paper's two query
+operations plus measured runs:
+
+>>> import numpy as np
+>>> from repro.core.database import Database
+>>> from repro.core.types import knn_query
+>>> db = Database(np.random.default_rng(0).random((500, 8)), access="xtree")
+>>> with db.measure() as run:
+...     answers = db.similarity_query(db.dataset[0], knn_query(5))
+>>> len(answers)
+5
+>>> run.counters.page_reads > 0
+True
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.answers import Answer
+from repro.core.engine import ENGINE_REFERENCE, ENGINE_VECTORIZED
+from repro.core.multi_query import MultiQueryProcessor, run_in_blocks
+from repro.core.ranking import neighbor_ranking
+from repro.core.types import QueryType
+from repro.costmodel import CostBreakdown, CostModel, Counters
+from repro.data import Dataset, as_dataset
+from repro.index.base import AccessMethod
+from repro.index.mtree import MTree
+from repro.index.scan import LinearScan
+from repro.index.vafile import VAFile
+from repro.index.xtree import XTree
+from repro.metric.distances import DistanceFunction
+from repro.metric.space import MetricSpace
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import DEFAULT_BLOCK_SIZE
+
+_ACCESS_METHODS = {
+    "scan": LinearScan,
+    "xtree": XTree,
+    "mtree": MTree,
+    "vafile": VAFile,
+}
+
+#: Cost-model dimension assumed for non-vector metrics (how expensive
+#: one distance evaluation is relative to one comparison).
+_GENERIC_EFFECTIVE_DIMENSION = 32
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Counters accumulated during a measured block, plus modelled cost."""
+
+    counters: Counters
+    cost_model: CostModel
+
+    @property
+    def cost(self) -> CostBreakdown:
+        """Modelled I/O + CPU cost of the run."""
+        return self.cost_model.breakdown(self.counters)
+
+    @property
+    def io_seconds(self) -> float:
+        """Modelled I/O seconds."""
+        return self.cost.io_seconds
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Modelled CPU seconds."""
+        return self.cost.cpu_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Modelled total seconds."""
+        return self.cost.total_seconds
+
+
+class _MeasureHandle:
+    """Mutable handle populated when a ``measure`` block closes."""
+
+    def __init__(self) -> None:
+        self.counters = Counters()
+        self.run: MeasuredRun | None = None
+
+    @property
+    def cost(self) -> CostBreakdown:
+        assert self.run is not None, "measure block has not finished"
+        return self.run.cost
+
+    @property
+    def io_seconds(self) -> float:
+        return self.cost.io_seconds
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cost.cpu_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cost.total_seconds
+
+
+class Database:
+    """A metric database with one access method (Sec. 2).
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.data.Dataset`, an ``(n, d)`` array, or any
+        sequence of objects.
+    metric:
+        Distance-function name or instance (default Euclidean).
+    access:
+        ``"scan"``, ``"xtree"``, ``"mtree"`` or ``"vafile"``.
+    block_size:
+        Disk block size in bytes (paper: 32 KB).
+    buffer_fraction:
+        LRU buffer capacity as a fraction of the database/index size
+        (paper: 10 %); 0 disables buffering.
+    engine:
+        Default page-processing engine: ``"vectorized"``,
+        ``"reference"`` or ``"auto"`` (vectorised when possible).
+    index_options:
+        Extra keyword arguments forwarded to the access method.
+    """
+
+    def __init__(
+        self,
+        data: Dataset | np.ndarray | Sequence[Any],
+        metric: str | DistanceFunction = "euclidean",
+        access: str = "scan",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        buffer_fraction: float = 0.1,
+        engine: str = "auto",
+        index_options: dict[str, Any] | None = None,
+    ):
+        self.dataset = as_dataset(data)
+        self.counters = Counters()
+        self.space = MetricSpace(metric, self.counters)
+        self.disk = SimulatedDisk(self.counters, block_size=block_size)
+        try:
+            factory = _ACCESS_METHODS[access]
+        except KeyError:
+            known = ", ".join(sorted(_ACCESS_METHODS))
+            raise ValueError(f"unknown access method {access!r}; known: {known}")
+        self.access_method: AccessMethod = factory(
+            self.dataset, self.space, self.disk, **(index_options or {})
+        )
+        if buffer_fraction > 0:
+            buffer_blocks = max(1, int(buffer_fraction * self.disk.total_blocks))
+            self.disk.set_buffer_blocks(buffer_blocks)
+        if engine == "auto":
+            engine = (
+                ENGINE_VECTORIZED
+                if self.dataset.is_vector and self.space.is_vector_metric
+                else ENGINE_REFERENCE
+            )
+        if engine not in (ENGINE_REFERENCE, ENGINE_VECTORIZED):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        dimension = (
+            self.dataset.dimension
+            if self.dataset.is_vector
+            else _GENERIC_EFFECTIVE_DIMENSION
+        )
+        self.cost_model = CostModel(dimension)
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    # ------------------------------------------------------------------
+    # Query operations
+    # ------------------------------------------------------------------
+
+    def similarity_query(self, query_obj: Any, qtype: QueryType) -> list[Answer]:
+        """Single similarity query (Fig. 1)."""
+        processor = MultiQueryProcessor(self)
+        return processor.process([query_obj], [qtype])
+
+    def ranking(self, query_obj: Any) -> "Iterator[Answer]":
+        """Neighbours of ``query_obj`` in ascending distance, lazily.
+
+        The incremental ranking of [13]; see
+        :func:`repro.core.ranking.neighbor_ranking`.
+        """
+        return neighbor_ranking(self, query_obj)
+
+    def processor(
+        self,
+        engine: str | None = None,
+        use_avoidance: bool = True,
+        max_pivots: int | None = None,
+        seed_from_queries: bool = False,
+        warm_start: bool = False,
+        matrix_mode: str = "eager",
+    ) -> MultiQueryProcessor:
+        """Create an incremental multiple-query processor (Fig. 4)."""
+        kwargs = {} if max_pivots is None else {"max_pivots": max_pivots}
+        return MultiQueryProcessor(
+            self,
+            engine=engine,
+            use_avoidance=use_avoidance,
+            seed_from_queries=seed_from_queries,
+            warm_start=warm_start,
+            matrix_mode=matrix_mode,
+            **kwargs,
+        )
+
+    def multiple_similarity_query(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        use_avoidance: bool = True,
+    ) -> list[list[Answer]]:
+        """Answer a batch of queries completely via one shared processor."""
+        processor = self.processor(use_avoidance=use_avoidance)
+        return processor.query_all(query_objs, qtypes)
+
+    def run_in_blocks(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        block_size: int,
+        use_avoidance: bool = True,
+        db_indices: Sequence[int | None] | None = None,
+        warm_start: bool = False,
+    ) -> list[list[Answer]]:
+        """Process M queries in consecutive blocks of ``block_size``.
+
+        Passing ``db_indices`` (the dataset index of each query object)
+        declares the queries to be database members and enables radius
+        seeding from the query-distance matrix.
+        """
+        return run_in_blocks(
+            self,
+            query_objs,
+            qtypes,
+            block_size,
+            use_avoidance=use_avoidance,
+            db_indices=db_indices,
+            warm_start=warm_start,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def measure(self) -> Iterator[_MeasureHandle]:
+        """Measure the counters accumulated inside a ``with`` block.
+
+        >>> # with db.measure() as run: db.similarity_query(...)
+        >>> # run.counters, run.io_seconds, run.cpu_seconds
+        """
+        before = self.counters.copy()
+        handle = _MeasureHandle()
+        try:
+            yield handle
+        finally:
+            handle.counters = self.counters.diff(before)
+            handle.run = MeasuredRun(handle.counters, self.cost_model)
+
+    def cold(self) -> None:
+        """Clear the disk buffer (start from a cold cache)."""
+        self.disk.clear_buffer()
+
+    def summary(self) -> dict[str, Any]:
+        """Structural summary of dataset, disk and access method."""
+        info = {
+            "objects": len(self.dataset),
+            "metric": self.space.distance.name,
+            "engine": self.engine,
+            "disk_blocks": self.disk.total_blocks,
+            "buffer_blocks": self.disk.buffer.capacity_blocks,
+        }
+        info.update(self.access_method.summary())
+        return info

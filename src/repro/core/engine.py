@@ -1,0 +1,218 @@
+"""Page processing shared by single and multiple similarity queries.
+
+This module implements the inner loop of Figs. 1 and 4: given a data
+page in memory and an ordered batch of queries the page is relevant for
+(the driving query first), evaluate every query against every object on
+the page, avoiding distance calculations via the triangle inequality
+where possible.
+
+Two engines with *identical* semantics and *identical* counter values:
+
+* ``reference`` -- the literal object-at-a-time loop of the paper's
+  pseudo code; easy to audit, used by tests and small runs;
+* ``vectorized`` -- numpy page-at-a-time evaluation used at benchmark
+  scale.
+
+Both use the query distance at page entry for the avoidance tests and
+tighten it while inserting the page's computed answers, so their answer
+sets and counters match exactly (see DESIGN.md, design decision 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.core.answers import AnswerList
+from repro.core.avoidance import (
+    DEFAULT_MAX_PIVOTS,
+    avoid_reference,
+    avoid_vectorized,
+)
+from repro.core.types import QueryType
+from repro.costmodel import Counters
+from repro.data import Dataset
+from repro.metric.space import MetricSpace
+from repro.storage.page import Page
+
+ENGINE_REFERENCE = "reference"
+ENGINE_VECTORIZED = "vectorized"
+
+
+def _fetch_pairs(matrix: Any, slot: int, other_slots: list) -> np.ndarray:
+    """Query-to-query distances from a raw array or a slot matrix.
+
+    A :class:`~repro.core.multi_query._SlotMatrix` computes lazy pairs on
+    first use; a plain ndarray (as used by direct engine tests) is
+    indexed directly.
+    """
+    if hasattr(matrix, "pairs"):
+        return matrix.pairs(slot, other_slots)
+    return matrix[slot, other_slots]
+
+
+@dataclass
+class PendingQuery:
+    """State of one similarity query inside a multiple-query processor.
+
+    This is the unit the answer buffer of Fig. 4 stores: the partial
+    answer list, the set of pages already processed for the query, and
+    the completion flag.
+    """
+
+    key: Hashable
+    obj: Any
+    qtype: QueryType
+    answers: AnswerList
+    slot: int = -1
+    processed_pages: set[int] = field(default_factory=set)
+    complete: bool = False
+    #: Dataset index of the query object, when it is a database member.
+    db_index: int | None = None
+    #: Upper bound on the final query distance derived from the query
+    #: distance matrix (other query objects are database objects, so the
+    #: k-th smallest matrix entry bounds the k-th-NN distance).  Purely
+    #: an optimisation: answers are unaffected.
+    radius_hint: float = math.inf
+    #: Whether the radius hint has been derived already.
+    seeded: bool = False
+    #: Whether the warm-start page has been processed already.
+    warmed: bool = False
+
+    @property
+    def radius(self) -> float:
+        """Current query distance of this query."""
+        answer_radius = self.answers.radius
+        if self.radius_hint < answer_radius:
+            return self.radius_hint
+        return answer_radius
+
+
+def process_page_vectorized(
+    page: Page,
+    batch: list[PendingQuery],
+    dataset: Dataset,
+    space: MetricSpace,
+    matrix: np.ndarray,
+    counters: Counters,
+    use_avoidance: bool = True,
+    max_pivots: int = DEFAULT_MAX_PIVOTS,
+    use_lemma1: bool = True,
+    use_lemma2: bool = True,
+) -> None:
+    """Evaluate every query of ``batch`` against every object of ``page``.
+
+    ``matrix`` is the query-distance matrix indexed by query slots.
+    Distances computed for earlier queries of the batch on this page
+    (``AvoidingDists`` in Fig. 4) feed the avoidance tests of the later
+    ones.
+    """
+    indices = page.indices
+    n_objects = indices.size
+    if n_objects == 0:
+        for query in batch:
+            query.processed_pages.add(page.page_id)
+        return
+    objects = dataset.batch(indices)
+    known_rows = np.empty((len(batch), n_objects), dtype=float)
+    known_slots: list[int] = []
+
+    for query in batch:
+        radius = query.radius
+        n_known = len(known_slots)
+        if use_avoidance and n_known and not math.isinf(radius):
+            n_pivots = min(n_known, max_pivots) if max_pivots > 0 else n_known
+            pivot_slots = known_slots[:n_pivots]
+            query_to_known = _fetch_pairs(matrix, query.slot, pivot_slots)
+            avoided = avoid_vectorized(
+                known_rows[:n_pivots],
+                query_to_known,
+                radius,
+                counters,
+                max_pivots=0,
+                use_lemma1=use_lemma1,
+                use_lemma2=use_lemma2,
+            )
+            compute = ~avoided
+        else:
+            compute = np.ones(n_objects, dtype=bool)
+
+        row = np.full(n_objects, np.nan)
+        if compute.any():
+            distances = space.d_many(objects[compute], query.obj)
+            row[compute] = distances
+            query.answers.offer_many(indices[compute], distances)
+        known_rows[n_known] = row
+        known_slots.append(query.slot)
+        query.processed_pages.add(page.page_id)
+
+
+def process_page_reference(
+    page: Page,
+    batch: list[PendingQuery],
+    dataset: Dataset,
+    space: MetricSpace,
+    matrix: np.ndarray,
+    counters: Counters,
+    use_avoidance: bool = True,
+    max_pivots: int = DEFAULT_MAX_PIVOTS,
+    use_lemma1: bool = True,
+    use_lemma2: bool = True,
+) -> None:
+    """Object-at-a-time variant of :func:`process_page_vectorized`.
+
+    Follows the pseudo code of Fig. 4 literally; produces the same
+    answers and the same counter values as the vectorised engine.
+    """
+    indices = page.indices
+    n_objects = indices.size
+    objects = dataset.batch(indices)
+    known_rows: list[tuple[int, list[float]]] = []
+
+    for query in batch:
+        radius = query.radius
+        avoidance_active = (
+            use_avoidance and known_rows and not math.isinf(radius)
+        )
+        if avoidance_active:
+            pivot_rows = known_rows[:max_pivots] if max_pivots > 0 else known_rows
+            pivot_dqq = _fetch_pairs(
+                matrix, query.slot, [slot for slot, _ in pivot_rows]
+            )
+        row: list[float] = []
+        for position in range(n_objects):
+            obj = objects[position]
+            if avoidance_active:
+                pairs = [
+                    (known_row[position], pivot_dqq[j])
+                    for j, (_, known_row) in enumerate(pivot_rows)
+                    if not math.isnan(known_row[position])
+                ]
+                if avoid_reference(
+                    pairs, radius, counters, use_lemma1, use_lemma2
+                ):
+                    row.append(math.nan)
+                    continue
+            distance = space.d(obj, query.obj)
+            row.append(distance)
+            query.answers.offer(int(indices[position]), distance)
+        known_rows.append((query.slot, row))
+        query.processed_pages.add(page.page_id)
+
+
+_ENGINES = {
+    ENGINE_REFERENCE: process_page_reference,
+    ENGINE_VECTORIZED: process_page_vectorized,
+}
+
+
+def get_engine(name: str) -> Any:
+    """Resolve a page-processing engine by name."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(_ENGINES))
+        raise ValueError(f"unknown engine {name!r}; known: {known}") from None

@@ -1,0 +1,552 @@
+"""The multiple similarity query (Definition 4 and Fig. 4).
+
+:class:`MultiQueryProcessor` is the stateful operator the paper proposes
+as a basic DBMS operation.  One ``process`` call receives a sequence of
+query objects and guarantees complete answers for the *first* of them
+(the "driver"); for every other query it collects partial answers from
+the pages loaded for the driver and keeps them -- together with the set
+of already-processed pages -- in an internal buffer
+(``restore_from_buffer`` / ``buffer_answers``).  Repeated calls with the
+remaining queries complete the whole batch while never reading a page
+twice for the same query.
+
+The query-distance matrix (``QObjDists``) is maintained incrementally in
+a slot-recycling array: admitting a query charges one distance
+calculation per already-pending query, so a block of m queries pays
+exactly the ``(m-1) * m / 2`` initialisation cost of the paper's CPU
+formula, and queries dynamically added later (the
+ExploreNeighborhoodsMultiple scenario of Sec. 5.1) pay only against the
+queries still pending.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.answers import Answer, AnswerList
+from repro.core.avoidance import DEFAULT_MAX_PIVOTS
+from repro.core.engine import (
+    ENGINE_VECTORIZED,
+    PendingQuery,
+    get_engine,
+)
+from repro.core.types import QueryType
+
+
+MATRIX_EAGER = "eager"
+MATRIX_LAZY = "lazy"
+
+
+class _SlotMatrix:
+    """Incrementally maintained query-distance matrix with slot reuse.
+
+    Rows/columns of retired queries are recycled, so the memory footprint
+    is bounded by the maximum number of *concurrently* pending queries,
+    not by the total number of queries a mining run ever issues.
+
+    Two fill policies address the paper's closing remark that "methods to
+    reduce the initialization overhead implied by the query distance
+    matrix" should be investigated (Sec. 7):
+
+    * ``eager`` (the paper's scheme): admitting the m-th query computes
+      its distance to every pending query, so a block pays the full
+      ``(m-1) * m / 2`` cost upfront;
+    * ``lazy``: pair distances are computed -- and charged -- only when
+      first consulted (as avoidance pivots, relevance bounds or radius
+      seeds).  With a bounded pivot set most pairs are never consulted,
+      which removes the quadratic term that limits large parallel blocks
+      (see the matrix-mode ablation benchmark).
+    """
+
+    def __init__(self, space: Any, mode: str = MATRIX_EAGER):
+        if mode not in (MATRIX_EAGER, MATRIX_LAZY):
+            raise ValueError(f"unknown matrix mode {mode!r}")
+        self._space = space
+        self.mode = mode
+        self._capacity = 0
+        self.matrix = np.zeros((0, 0), dtype=float)
+        self._known = np.zeros((0, 0), dtype=bool)
+        self._objs: list[Any] = []
+        self._vectors: np.ndarray | None = None
+        self._free: list[int] = []
+        self._active: list[int] = []
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def _grow(self, minimum: int) -> None:
+        new_capacity = max(16, 2 * self._capacity, minimum)
+        grown = np.zeros((new_capacity, new_capacity), dtype=float)
+        grown_known = np.zeros((new_capacity, new_capacity), dtype=bool)
+        if self._capacity:
+            grown[: self._capacity, : self._capacity] = self.matrix
+            grown_known[: self._capacity, : self._capacity] = self._known
+        self.matrix = grown
+        self._known = grown_known
+        self._objs.extend([None] * (new_capacity - self._capacity))
+        if self._vectors is not None:
+            grown_vectors = np.zeros(
+                (new_capacity, self._vectors.shape[1]), dtype=float
+            )
+            grown_vectors[: self._capacity] = self._vectors
+            self._vectors = grown_vectors
+        self._capacity = new_capacity
+
+    def add(self, obj: Any) -> int:
+        """Admit a query object; returns its slot.
+
+        In eager mode this charges one query-matrix distance calculation
+        per currently active slot; in lazy mode nothing is computed yet.
+        """
+        if not self._free:
+            self._grow(len(self._active) + 1)
+            self._free = [
+                slot
+                for slot in range(self._capacity - 1, -1, -1)
+                if slot not in self._active and self._objs[slot] is None
+            ]
+        slot = self._free.pop()
+        self._objs[slot] = obj
+
+        is_vector = (
+            self._space.distance.is_vector_metric and np.ndim(obj) == 1
+        )
+        if is_vector:
+            vector = np.asarray(obj, dtype=float)
+            if self._vectors is None:
+                self._vectors = np.zeros((self._capacity, vector.size), dtype=float)
+            self._vectors[slot] = vector
+        self._known[slot, :] = False
+        self._known[:, slot] = False
+        if self._active and self.mode == MATRIX_EAGER:
+            self._compute_pairs(slot, list(self._active))
+        self.matrix[slot, slot] = 0.0
+        self._known[slot, slot] = True
+        self._active.append(slot)
+        return slot
+
+    def _compute_pairs(self, slot: int, others: list[int]) -> None:
+        """Compute and charge the distances from ``slot`` to ``others``."""
+        distance = self._space.distance
+        obj = self._objs[slot]
+        self._space.counters.query_matrix_distance_calculations += len(others)
+        if (
+            self._vectors is not None
+            and distance.is_vector_metric
+            and np.ndim(obj) == 1
+        ):
+            values = distance.many(self._vectors[others], np.asarray(obj, float))
+        else:
+            values = np.array(
+                [distance.one(self._objs[other], obj) for other in others]
+            )
+        self.matrix[slot, others] = values
+        self.matrix[others, slot] = values
+        self._known[slot, others] = True
+        self._known[others, slot] = True
+
+    def remove(self, slot: int) -> None:
+        """Retire a slot; its row becomes reusable."""
+        self._active.remove(slot)
+        self._objs[slot] = None
+        self._free.append(slot)
+
+    def row(self, slot: int, other_slots: Sequence[int]) -> np.ndarray:
+        """Distances from one query to a set of others, filling gaps."""
+        return self.pairs(slot, other_slots)
+
+    def pairs(self, slot: int, other_slots: Sequence[int]) -> np.ndarray:
+        """Distances from one query to a set of others, filling gaps.
+
+        In lazy mode, pairs not yet known are computed (and charged)
+        here, at first use.
+        """
+        others = list(other_slots)
+        if self.mode == MATRIX_LAZY and others:
+            missing = [o for o in others if not self._known[slot, o]]
+            if missing:
+                self._compute_pairs(slot, missing)
+        return self.matrix[slot, others]
+
+
+def default_query_key(obj: Any, qtype: QueryType) -> Hashable:
+    """Identity of a query within a processor's buffer.
+
+    Numpy query objects hash by content; everything else by value.  The
+    query type is part of the key because the same object may be queried
+    with different types.
+    """
+    if isinstance(obj, np.ndarray):
+        return ("array", obj.tobytes(), qtype)
+    return ("object", obj, qtype)
+
+
+class MultiQueryProcessor:
+    """Incremental multiple-similarity-query operator (Fig. 4).
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.core.database.Database` to query.
+    engine:
+        ``"vectorized"``, ``"reference"`` or ``None`` (the database
+        default).
+    use_avoidance:
+        Enable the triangle-inequality CPU optimisation (Sec. 5.2).
+    max_pivots:
+        Bound on the known queries consulted per avoidance decision
+        (see :data:`repro.core.avoidance.DEFAULT_MAX_PIVOTS`);
+        non-positive means unbounded.
+    seed_from_queries:
+        When the query objects are *database members* (the evaluation
+        setup of Sec. 6) the query-distance matrix row of a k-NN query
+        contains distances to other database objects, so its k-th
+        smallest entry is a valid upper bound on the final query
+        distance.  Enabling this seeds each query's radius with that
+        bound, tightening page relevance from the start.  It never
+        changes answers, but it is only *sound* when every batch query
+        carries its dataset index (``db_indices``/``keys``).
+    matrix_mode:
+        ``"eager"`` (paper scheme: the full pairwise matrix is paid per
+        block) or ``"lazy"`` (pairs computed at first use; addresses the
+        Sec. 7 future-work item on matrix initialisation overhead).
+    warm_start:
+        Definition 4 only requires the driver's answers to be complete;
+        ``determine_relevant_data_pages`` may add any pages relevant to
+        the other queries.  With warm start, each newly admitted query
+        has its single best page (the head of its own page stream)
+        processed immediately, which collapses its query distance to a
+        near-final value and makes both the page-relevance test and the
+        avoidance lemmas effective from the first driver call.  Answers
+        are unaffected.  Ignored for sequential access methods, whose
+        streams are not distance-ranked.
+    """
+
+    def __init__(
+        self,
+        database: Any,
+        engine: str | None = None,
+        use_avoidance: bool = True,
+        max_pivots: int = DEFAULT_MAX_PIVOTS,
+        seed_from_queries: bool = False,
+        warm_start: bool = False,
+        use_lemma1: bool = True,
+        use_lemma2: bool = True,
+        matrix_mode: str = MATRIX_EAGER,
+    ):
+        self.database = database
+        self.access = database.access_method
+        self.space = database.space
+        self.disk = database.disk
+        self.dataset = database.dataset
+        engine_name = engine if engine is not None else database.engine
+        if engine_name == ENGINE_VECTORIZED and not self.dataset.is_vector:
+            raise ValueError("the vectorized engine requires a vector dataset")
+        self.engine_name = engine_name
+        self._process_page = get_engine(engine_name)
+        self.use_avoidance = use_avoidance
+        self.max_pivots = max_pivots
+        self.use_lemma1 = use_lemma1
+        self.use_lemma2 = use_lemma2
+        self.seed_from_queries = seed_from_queries
+        self.warm_start = warm_start and not database.access_method.sequential_data_access
+        self._pending: dict[Hashable, PendingQuery] = {}
+        self._slots = _SlotMatrix(self.space, mode=matrix_mode)
+        self._n_data_pages = len(self.access.data_pages())
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_queries(self) -> list[PendingQuery]:
+        """Currently buffered queries (complete and incomplete)."""
+        return list(self._pending.values())
+
+    def admit(
+        self,
+        obj: Any,
+        qtype: QueryType,
+        key: Hashable | None = None,
+        db_index: int | None = None,
+    ) -> PendingQuery:
+        """Restore a query from the buffer or register a new one."""
+        if key is None:
+            key = default_query_key(obj, qtype)
+        pending = self._pending.get(key)
+        if pending is not None:
+            if pending.qtype != qtype:
+                raise ValueError(
+                    f"query key {key!r} already buffered with a different type"
+                )
+            return pending
+        pending = PendingQuery(
+            key=key,
+            obj=obj,
+            qtype=qtype,
+            answers=AnswerList(qtype),
+            slot=self._slots.add(obj),
+            db_index=db_index,
+        )
+        self._pending[key] = pending
+        return pending
+
+    def retire(self, key: Hashable) -> None:
+        """Drop a buffered query and recycle its matrix slot."""
+        pending = self._pending.pop(key, None)
+        if pending is not None:
+            self._slots.remove(pending.slot)
+
+    def clear(self) -> None:
+        """Drop the whole buffer (start a fresh block)."""
+        for key in list(self._pending):
+            self.retire(key)
+
+    def _mark_complete(self, pending: PendingQuery) -> None:
+        if not pending.complete:
+            pending.complete = True
+            self.space.counters.queries_completed += 1
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+
+    def process(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        keys: Sequence[Hashable] | None = None,
+        db_indices: Sequence[int | None] | None = None,
+    ) -> list[Answer]:
+        """One multiple-similarity-query call (Fig. 4).
+
+        Completes the first query and returns its answers; the other
+        queries accumulate partial answers in the buffer.
+        """
+        qtypes = self._broadcast_types(qtypes, len(query_objs))
+        if len(query_objs) != len(qtypes):
+            raise ValueError("need one query type per query object")
+        if not query_objs:
+            raise ValueError("need at least one query object")
+        if keys is not None and len(keys) != len(query_objs):
+            raise ValueError("need one key per query object")
+        if db_indices is not None and len(db_indices) != len(query_objs):
+            raise ValueError("need one dataset index (or None) per query object")
+        pendings = [
+            self.admit(
+                obj,
+                qtype,
+                keys[i] if keys is not None else None,
+                db_indices[i] if db_indices is not None else None,
+            )
+            for i, (obj, qtype) in enumerate(zip(query_objs, qtypes))
+        ]
+        # Duplicate query objects resolve to one shared pending; keep a
+        # single occurrence so no page is processed twice for it.
+        seen: set[int] = set()
+        pendings = [
+            p for p in pendings if not (id(p) in seen or seen.add(id(p)))
+        ]
+        if self.seed_from_queries:
+            self._seed_radius_hints(pendings)
+        if self.warm_start:
+            self._warm_up(pendings)
+        driver = pendings[0]
+        if not driver.complete:
+            self._drive(driver, pendings[1:])
+        return driver.answers.materialize()
+
+    def _warm_up(self, pendings: Sequence[PendingQuery]) -> None:
+        """Process each new query's best page to tighten its radius."""
+        counters = self.space.counters
+        for pending in pendings:
+            if pending.complete or pending.warmed:
+                continue
+            pending.warmed = True
+            stream = self.access.page_stream(pending.obj)
+            item = stream.next_page(pending.radius)
+            while item is not None and item[1].page_id in pending.processed_pages:
+                item = stream.next_page(pending.radius)
+            if item is None:
+                continue
+            __, page = item
+            self.disk.read(page, sequential=self.access.sequential_data_access)
+            self._process_page(
+                page,
+                [pending],
+                self.dataset,
+                self.space,
+                self._slots,
+                counters,
+                use_avoidance=False,
+            )
+            if len(pending.processed_pages) >= self._n_data_pages:
+                self._mark_complete(pending)
+
+    def _seed_radius_hints(self, pendings: Sequence[PendingQuery]) -> None:
+        """Derive radius upper bounds from the query-distance matrix.
+
+        For a k-NN query whose batch contains at least k other queries
+        over *distinct database objects*, those objects are themselves
+        candidate answers at the distances the matrix already holds, so
+        the k-th smallest row entry bounds the final query distance.
+        Each query is seeded once, on its first processed batch.
+        """
+        for pending in pendings:
+            if pending.seeded or pending.complete:
+                continue
+            if not pending.qtype.adapts_radius or pending.db_index is None:
+                pending.seeded = True
+                continue
+            pending.seeded = True
+            others: dict[int, int] = {}
+            for other in pendings:
+                if other is pending or other.db_index is None:
+                    continue
+                if other.db_index != pending.db_index:
+                    others.setdefault(other.db_index, other.slot)
+            k = pending.qtype.k
+            if len(others) < k:
+                continue
+            row = self._slots.row(pending.slot, list(others.values()))
+            hint = float(np.partition(row, k - 1)[k - 1])
+            if hint < pending.radius_hint:
+                pending.radius_hint = hint
+
+    def query_all(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        keys: Sequence[Hashable] | None = None,
+        retire: bool = True,
+        db_indices: Sequence[int | None] | None = None,
+    ) -> list[list[Answer]]:
+        """Answer every query of a batch completely.
+
+        Implements the repeated-call pattern of Sec. 5.1: the method is
+        called for ``[Q_1..Q_m]``, then ``[Q_2..Q_m]``, and so on; each
+        call restores the partial answers of the previous ones from the
+        buffer.
+        """
+        qtypes = self._broadcast_types(qtypes, len(query_objs))
+        results = []
+        for i in range(len(query_objs)):
+            sub_keys = keys[i:] if keys is not None else None
+            sub_indices = db_indices[i:] if db_indices is not None else None
+            results.append(
+                self.process(query_objs[i:], qtypes[i:], sub_keys, sub_indices)
+            )
+        if retire:
+            for i, (obj, qtype) in enumerate(zip(query_objs, qtypes)):
+                key = keys[i] if keys is not None else default_query_key(obj, qtype)
+                self.retire(key)
+        return results
+
+    @staticmethod
+    def _broadcast_types(
+        qtypes: Sequence[QueryType] | QueryType, n: int
+    ) -> list[QueryType]:
+        if isinstance(qtypes, QueryType):
+            return [qtypes] * n
+        return list(qtypes)
+
+    def _drive(self, driver: PendingQuery, others: Sequence[PendingQuery]) -> None:
+        """Complete ``driver``, collecting partial answers for ``others``."""
+        stream = self.access.page_stream(driver.obj)
+        counters = self.space.counters
+        while True:
+            item = stream.next_page(driver.radius)
+            if item is None:
+                break
+            lower_bound, page = item
+            if page.page_id in driver.processed_pages:
+                continue
+            self.disk.read(
+                page, sequential=self.access.sequential_data_access
+            )
+            batch = [driver]
+            active_others = [
+                p
+                for p in others
+                if not p.complete and page.page_id not in p.processed_pages
+            ]
+            if active_others:
+                driver_distances = self._slots.row(
+                    driver.slot, [p.slot for p in active_others]
+                )
+                bounds = stream.lower_bounds_for_others(
+                    page,
+                    [p.obj for p in active_others],
+                    lower_bound,
+                    driver_distances,
+                )
+                batch.extend(
+                    p
+                    for p, bound in zip(active_others, bounds)
+                    if bound <= p.radius
+                )
+            self._process_page(
+                page,
+                batch,
+                self.dataset,
+                self.space,
+                self._slots,
+                counters,
+                use_avoidance=self.use_avoidance,
+                max_pivots=self.max_pivots,
+                use_lemma1=self.use_lemma1,
+                use_lemma2=self.use_lemma2,
+            )
+            for query in batch:
+                if len(query.processed_pages) >= self._n_data_pages:
+                    self._mark_complete(query)
+        self._mark_complete(driver)
+
+
+def run_in_blocks(
+    database: Any,
+    query_objs: Sequence[Any],
+    qtypes: Sequence[QueryType] | QueryType,
+    block_size: int,
+    engine: str | None = None,
+    use_avoidance: bool = True,
+    max_pivots: int = DEFAULT_MAX_PIVOTS,
+    db_indices: Sequence[int | None] | None = None,
+    warm_start: bool = False,
+) -> list[list[Answer]]:
+    """Process ``M`` queries in consecutive blocks of ``block_size``.
+
+    This is the evaluation setup of Sec. 5: memory bounds the number of
+    simultaneously buffered queries, so a workload of M queries runs as
+    ``M / m`` independent multiple similarity queries.  Each block gets a
+    fresh processor (fresh answer buffer and query-distance matrix); the
+    disk's LRU buffer persists across blocks like a DBMS buffer would.
+    """
+    if block_size < 1:
+        raise ValueError("block size must be positive")
+    qtypes = MultiQueryProcessor._broadcast_types(qtypes, len(query_objs))
+    if len(qtypes) != len(query_objs):
+        raise ValueError("need one query type per query object")
+    results: list[list[Answer]] = []
+    for start in range(0, len(query_objs), block_size):
+        processor = MultiQueryProcessor(
+            database,
+            engine=engine,
+            use_avoidance=use_avoidance,
+            max_pivots=max_pivots,
+            seed_from_queries=db_indices is not None,
+            warm_start=warm_start,
+        )
+        block_objs = query_objs[start : start + block_size]
+        block_types = qtypes[start : start + block_size]
+        block_indices = (
+            db_indices[start : start + block_size] if db_indices is not None else None
+        )
+        results.extend(
+            processor.query_all(block_objs, block_types, db_indices=block_indices)
+        )
+    return results

@@ -1,0 +1,174 @@
+"""Workload planning: choosing access method and block size.
+
+Sec. 3.3 of the paper argues that "a query optimizer can automatically
+use multiple similarity queries" once the operator exists; Sec. 6.3
+shows the optimal access method flips from index to scan as the block
+size m grows.  :class:`QueryPlanner` automates that choice: it probes a
+small sample of the intended workload on each candidate access method,
+fits the paper's cost structure
+
+    cost_per_query(m) = shared_cost / m + marginal_cost
+
+(block-shared work such as a sequential scan or the page-set union
+amortises over m; per-query work does not), and recommends the cheapest
+(access method, block size) plan for the full workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.database import Database
+from repro.core.types import QueryType
+from repro.data import Dataset, as_dataset
+from repro.workloads.queries import sample_database_queries
+
+
+@dataclass(frozen=True)
+class CostFit:
+    """Fitted per-query cost curve of one access method."""
+
+    access: str
+    shared_seconds: float
+    marginal_seconds: float
+
+    def per_query(self, block_size: int) -> float:
+        """Predicted per-query cost at block size ``block_size``."""
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        return self.shared_seconds / block_size + self.marginal_seconds
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """The planner's recommendation for a workload."""
+
+    access: str
+    block_size: int
+    predicted_seconds_per_query: float
+    fits: tuple[CostFit, ...]
+
+    def describe(self) -> str:
+        """One-paragraph human-readable explanation."""
+        lines = [
+            f"recommended: access={self.access!r}, block_size={self.block_size} "
+            f"(predicted {self.predicted_seconds_per_query * 1000:.2f} ms/query)"
+        ]
+        for fit in self.fits:
+            lines.append(
+                f"  {fit.access:>7}: shared={fit.shared_seconds * 1000:8.2f} ms/block-unit, "
+                f"marginal={fit.marginal_seconds * 1000:8.2f} ms/query"
+            )
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Probe-based planner over candidate access methods.
+
+    Parameters
+    ----------
+    data:
+        The database contents (a dataset or raw array).
+    metric:
+        Distance function, as for :class:`~repro.core.database.Database`.
+    candidates:
+        Access methods to consider.
+    probe_queries:
+        Sample size used for probing; larger samples cost more planning
+        time and give stabler fits.
+    probe_block:
+        The larger of the two probed block sizes (the smaller is 1).
+
+    Probing cost is real query work; the built candidate databases are
+    kept, so executing the plan afterwards starts with warm structures.
+    """
+
+    def __init__(
+        self,
+        data: Dataset | Any,
+        metric: str = "euclidean",
+        candidates: Sequence[str] = ("scan", "xtree"),
+        probe_queries: int = 8,
+        probe_block: int | None = None,
+        seed: int = 0,
+    ):
+        if probe_queries < 2:
+            raise ValueError("need at least two probe queries")
+        self.dataset = as_dataset(data)
+        self.candidates = tuple(candidates)
+        if not self.candidates:
+            raise ValueError("need at least one candidate access method")
+        self.probe_queries = probe_queries
+        self.probe_block = probe_block if probe_block is not None else probe_queries
+        self.seed = seed
+        self.databases = {
+            access: Database(self.dataset, metric=metric, access=access)
+            for access in self.candidates
+        }
+
+    def _probe(self, database: Database, qtype: QueryType) -> CostFit:
+        indices = sample_database_queries(self.dataset, self.probe_queries, self.seed)
+        queries = [self.dataset[i] for i in indices]
+        # Point 1: single queries (m = 1).
+        database.cold()
+        with database.measure() as single:
+            for query in queries:
+                database.similarity_query(query, qtype)
+        cost_single = single.total_seconds / len(queries)
+        # Point 2: one block of probe_block queries.
+        database.cold()
+        with database.measure() as block:
+            database.run_in_blocks(
+                queries,
+                qtype,
+                block_size=self.probe_block,
+                db_indices=indices,
+                warm_start=not database.access_method.sequential_data_access,
+            )
+        cost_block = block.total_seconds / len(queries)
+        # Solve  cost(m) = shared/m + marginal  through both points.
+        m2 = min(self.probe_block, len(queries))
+        if m2 <= 1:
+            shared, marginal = 0.0, cost_single
+        else:
+            shared = (cost_single - cost_block) * m2 / (m2 - 1)
+            shared = max(0.0, shared)
+            marginal = max(0.0, cost_single - shared)
+        return CostFit(
+            access=database.access_method.name,
+            shared_seconds=shared,
+            marginal_seconds=marginal,
+        )
+
+    def plan(
+        self,
+        n_queries: int,
+        qtype: QueryType,
+        max_block_size: int | None = None,
+    ) -> WorkloadPlan:
+        """Recommend access method and block size for ``n_queries``.
+
+        ``max_block_size`` models the memory bound of Sec. 5 (the answer
+        buffer and the O(m^2) query-distance matrix limit m); the block
+        size recommendation is the workload size clipped to it.
+        """
+        if n_queries < 1:
+            raise ValueError("workload must contain at least one query")
+        block_size = n_queries
+        if max_block_size is not None:
+            block_size = min(block_size, max_block_size)
+        fits = tuple(
+            self._probe(self.databases[access], qtype) for access in self.candidates
+        )
+        best = min(fits, key=lambda fit: fit.per_query(block_size))
+        return WorkloadPlan(
+            access=best.access,
+            block_size=block_size,
+            predicted_seconds_per_query=best.per_query(block_size),
+            fits=fits,
+        )
+
+    def database_for(self, plan: WorkloadPlan) -> Database:
+        """The already-built database matching a plan."""
+        return self.databases[plan.access]

@@ -1,0 +1,88 @@
+"""Similarity query types (Definitions 1-3 of the paper).
+
+A query type ``T`` has three components: ``T.range`` (maximum distance),
+``T.cardinality`` (maximum answer count) and ``T.kind`` (how the two
+conditions combine).  Range queries and k-nearest-neighbour queries are
+the two classic specialisations; the combined form ("the k nearest, but
+only within distance eps") is also supported, as suggested at the end of
+Sec. 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+KIND_RANGE = "range"
+KIND_KNN = "k-nearest neighbor"
+KIND_BOUNDED_KNN = "bounded k-nearest neighbor"
+
+_VALID_KINDS = frozenset({KIND_RANGE, KIND_KNN, KIND_BOUNDED_KNN})
+
+
+@dataclass(frozen=True)
+class QueryType:
+    """Specification of a similarity query (Definition 1).
+
+    Attributes
+    ----------
+    range:
+        Maximum distance between the query object and an answer
+        (``eps`` for range queries, ``+inf`` for pure k-NN queries).
+    cardinality:
+        Maximum number of answers (``k`` for k-NN queries; ``math.inf``
+        for pure range queries).
+    kind:
+        One of ``"range"``, ``"k-nearest neighbor"`` or
+        ``"bounded k-nearest neighbor"``.
+    """
+
+    range: float = math.inf
+    cardinality: float = math.inf
+    kind: str = KIND_RANGE
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}")
+        if self.range < 0 or math.isnan(self.range):
+            raise ValueError("range must be a non-negative number")
+        if self.cardinality != math.inf:
+            if self.cardinality < 1 or int(self.cardinality) != self.cardinality:
+                raise ValueError("cardinality must be a positive integer or inf")
+        if self.kind == KIND_RANGE and math.isinf(self.range):
+            raise ValueError("a range query needs a finite range")
+        if self.kind in (KIND_KNN, KIND_BOUNDED_KNN) and math.isinf(self.cardinality):
+            raise ValueError("a k-NN query needs a finite cardinality")
+        if self.kind == KIND_BOUNDED_KNN and math.isinf(self.range):
+            raise ValueError("a bounded k-NN query needs a finite range")
+
+    @property
+    def adapts_radius(self) -> bool:
+        """Whether the query distance shrinks as answers accumulate.
+
+        ``adapt_query_dist`` in Fig. 1 changes the query distance only
+        for k-NN-style queries, never for pure range queries.
+        """
+        return self.cardinality != math.inf
+
+    @property
+    def k(self) -> int:
+        """Cardinality as an integer (only for finite cardinalities)."""
+        if math.isinf(self.cardinality):
+            raise ValueError("query type has unbounded cardinality")
+        return int(self.cardinality)
+
+
+def range_query(eps: float) -> QueryType:
+    """Range query (Definition 2): all objects within distance ``eps``."""
+    return QueryType(range=eps, cardinality=math.inf, kind=KIND_RANGE)
+
+
+def knn_query(k: int) -> QueryType:
+    """k-nearest-neighbour query (Definition 3)."""
+    return QueryType(range=math.inf, cardinality=k, kind=KIND_KNN)
+
+
+def bounded_knn_query(k: int, eps: float) -> QueryType:
+    """The ``k`` nearest neighbours among those within distance ``eps``."""
+    return QueryType(range=eps, cardinality=k, kind=KIND_BOUNDED_KNN)

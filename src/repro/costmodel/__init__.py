@@ -1,0 +1,31 @@
+"""Cost accounting for the simulated database.
+
+The paper reports I/O cost (disk page reads) and CPU cost (distance
+calculations and triangle-inequality evaluations).  Rather than measuring
+wall-clock time of a Python process -- which would say nothing about the
+1999 C++/disk system the paper measured -- every component of this library
+increments operation counters, and :class:`CostModel` converts counters to
+modelled time using the paper's own published per-operation timings.
+"""
+
+from repro.costmodel.calibration import (
+    PlatformTimings,
+    calibrated_cost_model,
+    measure_platform,
+)
+from repro.costmodel.counters import Counters
+from repro.costmodel.model import (
+    CostBreakdown,
+    CostModel,
+    distance_calculation_seconds,
+)
+
+__all__ = [
+    "Counters",
+    "CostBreakdown",
+    "CostModel",
+    "PlatformTimings",
+    "calibrated_cost_model",
+    "distance_calculation_seconds",
+    "measure_platform",
+]

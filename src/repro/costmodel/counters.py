@@ -1,0 +1,93 @@
+"""Operation counters shared by the storage, metric and query layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Mutable set of operation counters.
+
+    A single :class:`Counters` instance is shared by the simulated disk,
+    the instrumented metric space and the query engines of one
+    :class:`~repro.core.database.Database`, so that one query (or one block
+    of multiple queries) can be measured by snapshotting before and after.
+
+    Attributes
+    ----------
+    sequential_page_reads:
+        Disk blocks read as part of a sequential scan over consecutive
+        physical addresses (cheap: no seek).
+    random_page_reads:
+        Disk blocks read at arbitrary physical addresses (seek + transfer).
+    buffer_hits:
+        Page requests satisfied by the LRU buffer pool (no physical I/O).
+    distance_calculations:
+        Full distance-function evaluations between a query object and a
+        database object.
+    query_matrix_distance_calculations:
+        Distance-function evaluations between pairs of *query* objects,
+        i.e. the ``(m-1) * m / 2`` initialisation overhead of a multiple
+        similarity query (Sec. 5.2 of the paper).
+    avoidance_tries:
+        Triangle-inequality evaluations (Lemma 1 and Lemma 2 are counted
+        as one try each), successful or not.
+    avoided_calculations:
+        Distance calculations that were proven unnecessary via the
+        triangle inequality.
+    mindist_evaluations:
+        Geometric lower-bound computations against page regions (MBR
+        MINDIST for the X-tree, routing-ball bound for the M-tree).
+        The paper folds these into the negligible "managing the query
+        process" cost; they are counted for completeness.
+    queries_completed:
+        Similarity queries answered to completion.
+    """
+
+    sequential_page_reads: int = 0
+    random_page_reads: int = 0
+    buffer_hits: int = 0
+    distance_calculations: int = 0
+    query_matrix_distance_calculations: int = 0
+    avoidance_tries: int = 0
+    avoided_calculations: int = 0
+    mindist_evaluations: int = 0
+    queries_completed: int = 0
+
+    def copy(self) -> "Counters":
+        """Return an independent snapshot of the current counts."""
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "Counters") -> "Counters":
+        """Return the counts accumulated since ``earlier`` was snapshotted."""
+        return Counters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def add(self, other: "Counters") -> None:
+        """Accumulate ``other`` into this instance in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    @property
+    def page_reads(self) -> int:
+        """Total physical page reads (sequential + random)."""
+        return self.sequential_page_reads + self.random_page_reads
+
+    @property
+    def total_distance_calculations(self) -> int:
+        """Distance calculations including query-matrix initialisation."""
+        return self.distance_calculations + self.query_matrix_distance_calculations
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

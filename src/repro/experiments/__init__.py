@@ -1,0 +1,37 @@
+"""Evaluation harness: one entry point per paper figure (Sec. 6).
+
+``run_figure7`` .. ``run_figure12`` regenerate the corresponding figure
+of the paper as a :class:`~repro.experiments.report.FigureResult` with
+the same series the paper plots, plus the paper's own reported numbers
+for side-by-side comparison.  ``python -m repro.experiments.run_all``
+runs everything and renders EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.mining_speedup import run_mining_speedup
+from repro.experiments.figures import (
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_k_robustness,
+    run_sec62_microtimings,
+)
+from repro.experiments.report import FigureResult, Series
+
+__all__ = [
+    "ExperimentConfig",
+    "FigureResult",
+    "Series",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "run_k_robustness",
+    "run_mining_speedup",
+    "run_sec62_microtimings",
+]

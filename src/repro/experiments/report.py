@@ -1,0 +1,90 @@
+"""Result containers and text rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and y values over the shared x axis."""
+
+    label: str
+    values: list[float]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: series over an x axis, plus paper context.
+
+    ``paper_notes`` records what the paper reports for this figure so
+    that EXPERIMENTS.md can show paper-vs-measured side by side.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: Sequence[float | int]
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    paper_notes: list[str] = field(default_factory=list)
+    measured_notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up one series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def render(self) -> str:
+        """Render the figure as an aligned text table."""
+        label_width = max(
+            [len("x=" + self.x_label)] + [len(s.label) for s in self.series]
+        )
+        header = f"{self.figure_id}: {self.title}"
+        lines = [header, "-" * len(header)]
+        x_cells = "".join(f"{x!s:>12}" for x in self.x_values)
+        lines.append(f"{'x=' + self.x_label:<{label_width}}{x_cells}")
+        for s in self.series:
+            cells = "".join(_format_value(v) for v in s.values)
+            lines.append(f"{s.label:<{label_width}}{cells}")
+        lines.append(f"(y: {self.y_label})")
+        for note in self.paper_notes:
+            lines.append(f"paper:    {note}")
+        for note in self.measured_notes:
+            lines.append(f"measured: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the figure as a GitHub-flavoured markdown section."""
+        lines = [f"### {self.figure_id}: {self.title}", ""]
+        header = [self.x_label] + [str(x) for x in self.x_values]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for s in self.series:
+            row = [s.label] + [_format_value(v).strip() for v in s.values]
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+        lines.append(f"*y axis: {self.y_label}*")
+        lines.append("")
+        if self.paper_notes:
+            lines.append("**Paper reports:**")
+            lines.extend(f"- {note}" for note in self.paper_notes)
+            lines.append("")
+        if self.measured_notes:
+            lines.append("**Measured here:**")
+            lines.extend(f"- {note}" for note in self.measured_notes)
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return f"{'0':>12}"
+    if abs(value) >= 1000:
+        return f"{value:>12.0f}"
+    if abs(value) >= 1:
+        return f"{value:>12.2f}"
+    return f"{value:>12.4f}"

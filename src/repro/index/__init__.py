@@ -1,0 +1,20 @@
+"""Access methods: linear scan, X-tree, M-tree and VA-file.
+
+Every access method implements the :class:`~repro.index.base.AccessMethod`
+interface consumed by the query engines:
+
+* a physical layout of the database on data pages,
+* a *page stream* per query object yielding candidate data pages in
+  ascending lower-bound order (the [13] ranking algorithm for trees,
+  physical order for the scan), and
+* cheap per-page lower bounds for the *other* query objects of a
+  multiple similarity query, used to decide page relevance (Sec. 5.1).
+"""
+
+from repro.index.base import AccessMethod, PageStream
+from repro.index.mtree import MTree
+from repro.index.scan import LinearScan
+from repro.index.vafile import VAFile
+from repro.index.xtree import XTree
+
+__all__ = ["AccessMethod", "LinearScan", "MTree", "PageStream", "VAFile", "XTree"]

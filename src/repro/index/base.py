@@ -1,0 +1,120 @@
+"""Access-method interface used by the query engines."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.data import Dataset
+from repro.metric.space import MetricSpace
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+
+
+class PageStream:
+    """Stream of candidate data pages for one query object.
+
+    Implements the contract of ``determine_relevant_data_pages`` in
+    Fig. 1 of the paper together with ``prune_pages``: pages are yielded
+    in non-decreasing order of a lower bound of the distance between the
+    query object and any object on the page, and the stream ends as soon
+    as the next lower bound exceeds the current query distance.
+
+    The stream performs any *directory* I/O needed to find the next page
+    (charged to the shared counters) but does **not** read the data page
+    itself -- the engine reads it, because the incremental multiple query
+    skips pages it has already processed for the driving query.
+    """
+
+    def __init__(self, access_method: "AccessMethod"):
+        self.access_method = access_method
+
+    def next_page(self, radius: float) -> tuple[float, Page] | None:
+        """Return ``(lower_bound, page)`` or ``None`` when exhausted.
+
+        ``radius`` is the current query distance; any page whose lower
+        bound exceeds it is pruned (and with it the rest of the stream,
+        since bounds are non-decreasing).
+        """
+        raise NotImplementedError
+
+    def lower_bounds_for_others(
+        self,
+        page: Page,
+        query_objs: Sequence[Any],
+        driver_lower_bound: float,
+        driver_distances: np.ndarray | None,
+    ) -> np.ndarray:
+        """Per-query lower bounds for the non-driving queries of a batch.
+
+        Streams that hold query-specific context (e.g. the M-tree stream
+        knows the driver's distance to each leaf's routing object) may
+        override this; the default delegates to the access method.
+        """
+        return self.access_method.page_lower_bounds(
+            page, query_objs, driver_lower_bound, driver_distances
+        )
+
+    def drain(self, radius: float = float("inf")) -> Iterator[tuple[float, Page]]:
+        """Yield the remaining pages at a fixed radius (testing helper)."""
+        while True:
+            item = self.next_page(radius)
+            if item is None:
+                return
+            yield item
+
+
+class AccessMethod:
+    """Base class of all access methods.
+
+    Concrete subclasses register their pages with the shared
+    :class:`SimulatedDisk` at construction time and expose page streams
+    and page lower bounds for the query engines.
+    """
+
+    #: Registry name (``"scan"``, ``"xtree"``, ``"mtree"``, ``"vafile"``).
+    name: str = "abstract"
+
+    #: Whether reading this method's data pages in stream order is a
+    #: sequential scan over consecutive physical addresses.
+    sequential_data_access: bool = False
+
+    def __init__(self, dataset: Dataset, space: MetricSpace, disk: SimulatedDisk):
+        self.dataset = dataset
+        self.space = space
+        self.disk = disk
+
+    def data_pages(self) -> list[Page]:
+        """All data pages in physical-address order."""
+        raise NotImplementedError
+
+    def page_stream(self, query_obj: Any) -> PageStream:
+        """Open a candidate-page stream for ``query_obj``."""
+        raise NotImplementedError
+
+    def page_lower_bounds(
+        self,
+        page: Page,
+        query_objs: Sequence[Any],
+        driver_lower_bound: float,
+        driver_distances: np.ndarray | None,
+    ) -> np.ndarray:
+        """Cheap per-query lower bounds for a page already in memory.
+
+        Called by the multiple-query engine to decide which of the
+        *other* query objects the current page is relevant for
+        (Sec. 5.1).  ``driver_lower_bound`` is the bound the stream
+        reported for the driving query, and ``driver_distances[i]`` is
+        the known distance between the driving query object and
+        ``query_objs[i]`` (one row of the query-distance matrix), which
+        metric access methods may exploit via the triangle inequality.
+
+        The default is the trivial bound 0 (every page may be relevant),
+        which is correct for any access method.
+        """
+        return np.zeros(len(query_objs), dtype=float)
+
+    def summary(self) -> dict[str, Any]:
+        """Human-readable structural statistics (for reports/tests)."""
+        return {"name": self.name, "pages": len(self.data_pages())}

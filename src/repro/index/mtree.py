@@ -1,0 +1,562 @@
+"""The M-tree access method (Ciaccia, Patella, Zezula, VLDB 1997).
+
+The M-tree is the dynamic, paged metric index the paper names for
+general metric databases (Sec. 2): directory nodes store *routing
+objects* with covering radii, leaf nodes store the database objects, and
+the triangle inequality prunes subtrees during search.  Unlike the
+X-tree it needs no vector space, only the metric itself, so it serves
+the WWW-session style scenarios (edit distance over strings).
+
+Distance evaluations performed while *querying* (query object against
+routing objects) are charged to the shared counters as distance
+calculations; distance evaluations during *construction* are kept out of
+the query cost accounting, mirroring the paper's setup where the index
+exists before the measured workload starts.
+
+For a multiple similarity query, the stream remembers the driver's
+distance to each delivered leaf's routing object.  The relevance bound
+for every other query object then costs no extra distance calculation:
+``d(Q_i, O) >= |d(Q_1, routing) - d(Q_1, Q_i)| - covering_radius``
+follows from two applications of the triangle inequality, using only the
+query-distance matrix -- the same idea as the paper's Lemmas 1 and 2
+lifted from objects to pages.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.data import Dataset
+from repro.index.base import AccessMethod, PageStream
+from repro.metric.space import MetricSpace
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageKind
+
+#: Assumed bytes per entry when the dataset is not made of vectors.
+_GENERIC_OBJECT_BYTES = 256
+
+#: Routing-entry overhead: covering radius, parent distance, child pointer.
+_ROUTING_OVERHEAD_BYTES = 24
+
+
+class _RoutingEntry:
+    """Directory entry: routing object, covering radius, subtree."""
+
+    __slots__ = ("obj_index", "radius", "dist_to_parent", "child")
+
+    def __init__(
+        self, obj_index: int, radius: float, dist_to_parent: float, child: "_MNode"
+    ):
+        self.obj_index = obj_index
+        self.radius = radius
+        self.dist_to_parent = dist_to_parent
+        self.child = child
+
+
+class _MNode:
+    """M-tree node; leaves carry a data page, internals carry entries."""
+
+    __slots__ = (
+        "is_leaf",
+        "entries",
+        "object_dists",
+        "page",
+        "parent_entry",
+        "parent_node",
+    )
+
+    def __init__(self, is_leaf: bool, page: Page):
+        self.is_leaf = is_leaf
+        #: leaf: object indices (mirrors ``page.indices``); internal: entries.
+        self.entries: list[Any] = []
+        #: leaf only: distance of each object to the node's routing object.
+        self.object_dists: list[float] = []
+        self.page = page
+        self.parent_entry: _RoutingEntry | None = None
+        self.parent_node: "_MNode | None" = None
+
+
+class _MTreeStream(PageStream):
+    """Best-first ranking over the M-tree with routing-distance memory."""
+
+    def __init__(self, tree: "MTree", query_obj: Any):
+        super().__init__(tree)
+        self._tree = tree
+        self._query = query_obj
+        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, _MNode, float]] = []
+        #: page id -> (driver distance to routing object, covering radius)
+        self.routing_context: dict[int, tuple[float, float]] = {}
+        root = tree.root
+        if root is not None:
+            if root.parent_entry is None:
+                # Root has no routing object; bound 0, parent distance NaN.
+                self._heap = [(0.0, next(self._counter), root, float("nan"))]
+
+    def _push_children(self, node: _MNode, d_parent: float, radius: float) -> None:
+        tree = self._tree
+        for entry in node.entries:
+            entry: _RoutingEntry
+            # Cheap pre-test: |d(q, parent) - d(entry, parent)| - r_entry
+            # already exceeds the radius -> prune without a distance
+            # calculation (the classic M-tree optimisation; charged as
+            # one triangle-inequality try).
+            if not np.isnan(d_parent):
+                tree.space.counters.avoidance_tries += 1
+                if abs(d_parent - entry.dist_to_parent) - entry.radius > radius:
+                    tree.space.counters.avoided_calculations += 1
+                    continue
+            d_routing = tree.space.d(tree.dataset[entry.obj_index], self._query)
+            bound = max(0.0, d_routing - entry.radius)
+            if bound <= radius:
+                heapq.heappush(
+                    self._heap, (bound, next(self._counter), entry.child, d_routing)
+                )
+                if entry.child.is_leaf:
+                    self.routing_context[entry.child.page.page_id] = (
+                        d_routing,
+                        entry.radius,
+                    )
+
+    def next_page(self, radius: float) -> tuple[float, Page] | None:
+        heap = self._heap
+        while heap:
+            bound, _, node, d_routing = heap[0]
+            if bound > radius:
+                return None
+            heapq.heappop(heap)
+            if node.is_leaf:
+                return bound, node.page
+            # The root stays pinned in memory; deeper directory nodes are
+            # charged as page reads.
+            if node is not self._tree.root:
+                self._tree.disk.read(node.page)
+            self._push_children(node, d_routing, radius)
+        return None
+
+    def lower_bounds_for_others(
+        self,
+        page: Page,
+        query_objs: Sequence[Any],
+        driver_lower_bound: float,
+        driver_distances: np.ndarray | None,
+    ) -> np.ndarray:
+        context = self.routing_context.get(page.page_id)
+        if context is None or driver_distances is None:
+            return np.zeros(len(query_objs), dtype=float)
+        d_routing, covering_radius = context
+        counters = self.access_method.space.counters
+        counters.mindist_evaluations += len(query_objs)
+        bounds = np.abs(d_routing - np.asarray(driver_distances)) - covering_radius
+        return np.maximum(bounds, 0.0)
+
+
+class MTree(AccessMethod):
+    """Paged M-tree over any :class:`Dataset` under any metric.
+
+    Parameters
+    ----------
+    leaf_capacity, dir_capacity:
+        Entries per leaf / directory page; derived from the block size
+        and the object size when omitted.
+    seed:
+        Random seed for routing-object promotion during splits.
+    """
+
+    name = "mtree"
+    sequential_data_access = False
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        space: MetricSpace,
+        disk: SimulatedDisk,
+        leaf_capacity: int | None = None,
+        dir_capacity: int | None = None,
+        bulk_load: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__(dataset, space, disk)
+        object_bytes = (
+            dataset.dimension * 4 if dataset.is_vector else _GENERIC_OBJECT_BYTES
+        )
+        if leaf_capacity is None:
+            leaf_capacity = max(2, disk.block_size // (object_bytes + 16))
+        if dir_capacity is None:
+            dir_capacity = max(
+                2, disk.block_size // (object_bytes + _ROUTING_OVERHEAD_BYTES)
+            )
+        if leaf_capacity < 2 or dir_capacity < 2:
+            raise ValueError("leaf and directory capacities must be at least 2")
+        self.leaf_capacity = leaf_capacity
+        self.dir_capacity = dir_capacity
+        self._rng = np.random.default_rng(seed)
+        self.root: _MNode | None = None
+        self._leaf_by_page_id: dict[int, _MNode] = {}
+        if len(dataset) == 0:
+            return
+        if bulk_load:
+            self._bulk_load()
+        else:
+            for index in range(len(dataset)):
+                self.insert(index)
+
+    # ------------------------------------------------------------------
+    # Bulk loading (after Ciaccia & Patella, "Bulk Loading the M-tree")
+    # ------------------------------------------------------------------
+
+    def _bulk_load(self) -> None:
+        """Build by recursive sample-based clustering.
+
+        A set that does not fit one leaf is clustered around randomly
+        sampled routing objects; every object is assigned to its nearest
+        sample, and each cluster is loaded recursively.  Covering radii
+        are exact (the maximum assignment distance of the subtree's
+        objects, which are fully known per cluster).
+        """
+        members = list(range(len(self.dataset)))
+        self.root, _ = self._bulk_node(members, routing_index=None)
+        self._fix_parent_distances(self.root)
+
+    def _fix_parent_distances(self, node: _MNode) -> None:
+        """Fill ``dist_to_parent`` of every routing entry, recursively."""
+        if node.is_leaf:
+            return
+        parent_obj = (
+            node.parent_entry.obj_index if node.parent_entry is not None else None
+        )
+        for entry in node.entries:
+            entry: _RoutingEntry
+            if parent_obj is None:
+                entry.dist_to_parent = float("nan")
+            else:
+                entry.dist_to_parent = self._d(
+                    parent_obj, self.dataset[entry.obj_index]
+                )
+            self._fix_parent_distances(entry.child)
+
+    def _bulk_distances(self, routing_index: int, members: list[int]) -> np.ndarray:
+        objs = self.dataset.batch(np.asarray(members, dtype=np.intp))
+        return np.asarray(
+            self.space.distance.many(objs, self.dataset[routing_index]), dtype=float
+        )
+
+    def _bulk_node(
+        self, members: list[int], routing_index: int | None
+    ) -> tuple[_MNode, float]:
+        """Build a subtree for ``members``; returns (node, covering radius).
+
+        ``routing_index`` is the routing object the parent promoted for
+        this subtree (``None`` at the root).
+        """
+        if len(members) <= self.leaf_capacity:
+            node = self._new_node(is_leaf=True)
+            node.entries = list(members)
+            node.page.indices = np.asarray(members, dtype=np.intp)
+            if routing_index is not None:
+                distances = self._bulk_distances(routing_index, members)
+                node.object_dists = [float(d) for d in distances]
+                radius = float(distances.max()) if members else 0.0
+            else:
+                node.object_dists = [0.0] * len(members)
+                radius = 0.0
+            return node, radius
+
+        n_clusters = min(
+            self.dir_capacity, max(2, -(-len(members) // self.leaf_capacity))
+        )
+        seeds = [
+            members[int(i)]
+            for i in self._rng.choice(len(members), size=n_clusters, replace=False)
+        ]
+        assignment_distances = np.stack(
+            [self._bulk_distances(seed, members) for seed in seeds]
+        )
+        assignment = np.argmin(assignment_distances, axis=0)
+        groups: list[list[int]] = [[] for _ in seeds]
+        for position, member in enumerate(members):
+            groups[int(assignment[position])].append(member)
+        non_empty = [g for g in groups if g]
+        if len(non_empty) < 2:
+            # Degenerate sample (e.g. many duplicates): balanced fallback.
+            half = len(members) // 2
+            non_empty = [members[:half], members[half:]]
+            seeds = [non_empty[0][0], non_empty[1][0]]
+            groups = non_empty
+        node = self._new_node(is_leaf=False)
+        for seed_obj, group in zip(seeds, groups):
+            if not group:
+                continue
+            child, child_radius = self._bulk_node(group, seed_obj)
+            entry = _RoutingEntry(seed_obj, child_radius, float("nan"), child)
+            child.parent_entry = entry
+            child.parent_node = node
+            node.entries.append(entry)
+        radius = 0.0
+        if routing_index is not None:
+            for entry in node.entries:
+                entry: _RoutingEntry
+                d = self._d(routing_index, self.dataset[entry.obj_index])
+                radius = max(radius, d + entry.radius)
+        return node, radius
+
+    # ------------------------------------------------------------------
+    # Construction (uncounted distances)
+    # ------------------------------------------------------------------
+
+    def _d(self, i: int, j_obj: Any) -> float:
+        """Construction-time distance (not charged to query counters)."""
+        return self.space.uncounted(self.dataset[i], j_obj)
+
+    def _new_node(self, is_leaf: bool) -> _MNode:
+        page = Page(
+            page_id=self.disk.allocate_page_id(),
+            kind=PageKind.DATA if is_leaf else PageKind.DIRECTORY,
+        )
+        self.disk.register(page)
+        node = _MNode(is_leaf, page)
+        if is_leaf:
+            self._leaf_by_page_id[page.page_id] = node
+        return node
+
+    def insert(self, index: int) -> None:
+        """Insert dataset object ``index`` into the tree."""
+        if self.root is None:
+            self.root = self._new_node(is_leaf=True)
+        leaf, dist_to_routing = self._descend(self.root, index, float("nan"))
+        leaf.entries.append(index)
+        leaf.object_dists.append(dist_to_routing)
+        leaf.page.indices = np.asarray(leaf.entries, dtype=np.intp)
+        self.disk.buffer.invalidate(leaf.page.page_id)
+        if len(leaf.entries) > self.leaf_capacity:
+            self._split(leaf)
+
+    def _descend(
+        self, node: _MNode, index: int, dist_to_routing: float
+    ) -> tuple[_MNode, float]:
+        while not node.is_leaf:
+            best_entry: _RoutingEntry | None = None
+            best_key: tuple[float, float] | None = None
+            best_dist = 0.0
+            for entry in node.entries:
+                d = self._d(entry.obj_index, self.dataset[index])
+                enlargement = max(0.0, d - entry.radius)
+                key = (enlargement, d)
+                if best_key is None or key < best_key:
+                    best_entry, best_key, best_dist = entry, key, d
+            assert best_entry is not None
+            if best_dist > best_entry.radius:
+                self._enlarge_radius(best_entry, best_dist)
+            node = best_entry.child
+            dist_to_routing = best_dist
+        return node, dist_to_routing
+
+    def _enlarge_radius(self, entry: _RoutingEntry, new_radius: float) -> None:
+        entry.radius = new_radius
+
+    def _split(self, node: _MNode) -> None:
+        """Split an overflowing node: promote two routing objects, partition.
+
+        Promotion follows the mM_RAD heuristic over a random candidate
+        sample: the pair whose balanced partition minimises the larger
+        covering radius wins.
+        """
+        member_indices = self._member_object_indices(node)
+        promoted = self._promote(member_indices)
+        groups = self._partition(node, member_indices, promoted)
+        parent_entry = node.parent_entry
+        # Reuse `node` for group 0; a fresh sibling holds group 1.
+        sibling = self._new_node(node.is_leaf)
+        self._fill_node(node, groups[0][1], promoted[0])
+        self._fill_node(sibling, groups[1][1], promoted[1])
+
+        entry0 = self._make_routing_entry(promoted[0], node)
+        entry1 = self._make_routing_entry(promoted[1], sibling)
+        if parent_entry is None:
+            new_root = self._new_node(is_leaf=False)
+            new_root.entries = [entry0, entry1]
+            node.parent_entry = entry0
+            sibling.parent_entry = entry1
+            node.parent_node = new_root
+            sibling.parent_node = new_root
+            self._set_parent_distances(new_root, None)
+            self.root = new_root
+            return
+        parent_node = node.parent_node
+        assert parent_node is not None
+        parent_node.entries.remove(parent_entry)
+        parent_node.entries.extend([entry0, entry1])
+        node.parent_entry = entry0
+        sibling.parent_entry = entry1
+        sibling.parent_node = parent_node
+        self._set_parent_distances(parent_node, parent_node.parent_entry)
+        self.disk.buffer.invalidate(parent_node.page.page_id)
+        if len(parent_node.entries) > self.dir_capacity:
+            self._split(parent_node)
+
+    def _member_object_indices(self, node: _MNode) -> list[int]:
+        if node.is_leaf:
+            return list(node.entries)
+        return [entry.obj_index for entry in node.entries]
+
+    def _promote(self, member_indices: list[int]) -> tuple[int, int]:
+        n = len(member_indices)
+        candidate_pairs: list[tuple[int, int]] = []
+        max_pairs = 32
+        if n * (n - 1) // 2 <= max_pairs:
+            candidate_pairs = [
+                (member_indices[i], member_indices[j])
+                for i in range(n)
+                for j in range(i + 1, n)
+            ]
+        else:
+            while len(candidate_pairs) < max_pairs:
+                i, j = self._rng.choice(n, size=2, replace=False)
+                candidate_pairs.append((member_indices[int(i)], member_indices[int(j)]))
+        best_pair = candidate_pairs[0]
+        best_max_radius = float("inf")
+        for a, b in candidate_pairs:
+            radius_a = radius_b = 0.0
+            for idx in member_indices:
+                d_a = self._d(a, self.dataset[idx])
+                d_b = self._d(b, self.dataset[idx])
+                if d_a <= d_b:
+                    radius_a = max(radius_a, d_a)
+                else:
+                    radius_b = max(radius_b, d_b)
+            worst = max(radius_a, radius_b)
+            if worst < best_max_radius:
+                best_max_radius = worst
+                best_pair = (a, b)
+        return best_pair
+
+    def _partition(
+        self, node: _MNode, member_indices: list[int], promoted: tuple[int, int]
+    ) -> list[tuple[int, list[Any]]]:
+        group0: list[Any] = []
+        group1: list[Any] = []
+        entries = node.entries
+        for position, idx in enumerate(member_indices):
+            d0 = self._d(promoted[0], self.dataset[idx])
+            d1 = self._d(promoted[1], self.dataset[idx])
+            target = group0 if d0 <= d1 else group1
+            target.append(entries[position])
+        if not group0:
+            group0.append(group1.pop())
+        if not group1:
+            group1.append(group0.pop())
+        return [(promoted[0], group0), (promoted[1], group1)]
+
+    def _fill_node(self, node: _MNode, entries: list[Any], routing_index: int) -> None:
+        node.entries = entries
+        if node.is_leaf:
+            node.object_dists = [
+                self._d(routing_index, self.dataset[idx]) for idx in entries
+            ]
+            node.page.indices = np.asarray(entries, dtype=np.intp)
+        else:
+            for entry in entries:
+                entry: _RoutingEntry
+                entry.dist_to_parent = self._d(
+                    routing_index, self.dataset[entry.obj_index]
+                )
+                entry.child.parent_node = node
+        self.disk.buffer.invalidate(node.page.page_id)
+
+    def _make_routing_entry(self, routing_index: int, child: _MNode) -> _RoutingEntry:
+        radius = 0.0
+        if child.is_leaf:
+            for idx in child.entries:
+                radius = max(radius, self._d(routing_index, self.dataset[idx]))
+        else:
+            for entry in child.entries:
+                entry: _RoutingEntry
+                d = self._d(routing_index, self.dataset[entry.obj_index])
+                radius = max(radius, d + entry.radius)
+        return _RoutingEntry(routing_index, radius, float("nan"), child)
+
+    def _set_parent_distances(
+        self, node: _MNode, parent_entry: _RoutingEntry | None
+    ) -> None:
+        for entry in node.entries:
+            entry: _RoutingEntry
+            if parent_entry is None:
+                entry.dist_to_parent = float("nan")
+            else:
+                entry.dist_to_parent = self._d(
+                    parent_entry.obj_index, self.dataset[entry.obj_index]
+                )
+
+    # ------------------------------------------------------------------
+    # Query interface
+    # ------------------------------------------------------------------
+
+    def data_pages(self) -> list[Page]:
+        leaves = sorted(self._leaf_by_page_id.values(), key=lambda n: n.page.page_id)
+        return [leaf.page for leaf in leaves]
+
+    def page_stream(self, query_obj: Any) -> PageStream:
+        return _MTreeStream(self, query_obj)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Any:
+        """Yield every node, pre-order."""
+        stack = [self.root] if self.root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)
+
+    def height(self) -> int:
+        """Tree height (1 for a single leaf)."""
+        node, height = self.root, 0
+        while node is not None:
+            height += 1
+            node = None if node.is_leaf else node.entries[0].child
+        return height
+
+    def covering_radii_valid(self) -> bool:
+        """Invariant check: every object lies inside its routing balls."""
+        if self.root is None:
+            return True
+        return self._check_subtree(self.root)
+
+    def _check_subtree(self, node: _MNode) -> bool:
+        if node.is_leaf:
+            return True
+        for entry in node.entries:
+            entry: _RoutingEntry
+            for idx in self._subtree_objects(entry.child):
+                d = self.space.uncounted(
+                    self.dataset[entry.obj_index], self.dataset[idx]
+                )
+                if d > entry.radius + 1e-9:
+                    return False
+            if not self._check_subtree(entry.child):
+                return False
+        return True
+
+    def _subtree_objects(self, node: _MNode) -> list[int]:
+        if node.is_leaf:
+            return list(node.entries)
+        objects: list[int] = []
+        for entry in node.entries:
+            objects.extend(self._subtree_objects(entry.child))
+        return objects
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "pages": len(self._leaf_by_page_id),
+            "height": self.height(),
+            "leaf_capacity": self.leaf_capacity,
+            "dir_capacity": self.dir_capacity,
+        }

@@ -1,0 +1,13 @@
+"""R*-tree building blocks shared by the X-tree.
+
+The X-tree (Berchtold, Keim, Kriegel, VLDB 1996) is structurally an
+R*-tree whose directory avoids high-overlap splits by creating
+*supernodes*.  This subpackage provides the shared machinery: MBR
+algebra, the R* topological split, and STR bulk loading.
+"""
+
+from repro.index.rstar.mbr import MBR, mindist_many
+from repro.index.rstar.split import SplitResult, rstar_split
+from repro.index.rstar.str_load import str_partition
+
+__all__ = ["MBR", "SplitResult", "mindist_many", "rstar_split", "str_partition"]

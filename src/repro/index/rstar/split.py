@@ -1,0 +1,135 @@
+"""The R*-tree topological split (Beckmann et al., SIGMOD 1990).
+
+Works on any set of rectangles given as ``(los, his)`` arrays; point
+entries are rectangles with ``lo == hi``.  The X-tree calls this split
+first and falls back to a supernode when the result has too much overlap
+and no balanced overlap-free alternative exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of a node split: entry index sets of the two groups."""
+
+    left: np.ndarray
+    right: np.ndarray
+    axis: int
+    overlap: float
+    left_volume: float
+    right_volume: float
+
+    @property
+    def total_volume(self) -> float:
+        """Combined volume of both group MBRs."""
+        return self.left_volume + self.right_volume
+
+
+def _group_bounds(
+    los: np.ndarray, his: np.ndarray, idx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    return los[idx].min(axis=0), his[idx].max(axis=0)
+
+
+def _volume(lo: np.ndarray, hi: np.ndarray) -> float:
+    return float(np.prod(hi - lo))
+
+
+def _margin(lo: np.ndarray, hi: np.ndarray) -> float:
+    return float(np.sum(hi - lo))
+
+
+def _overlap(
+    lo1: np.ndarray, hi1: np.ndarray, lo2: np.ndarray, hi2: np.ndarray
+) -> float:
+    sides = np.minimum(hi1, hi2) - np.maximum(lo1, lo2)
+    if np.any(sides < 0):
+        return 0.0
+    return float(np.prod(sides))
+
+
+def _distributions(n: int, min_fill: int) -> list[int]:
+    """Legal sizes of the first group when splitting ``n`` entries."""
+    return list(range(min_fill, n - min_fill + 1))
+
+
+def rstar_split(
+    los: np.ndarray,
+    his: np.ndarray,
+    min_fill_fraction: float = 0.4,
+) -> SplitResult:
+    """Split ``n`` rectangle entries into two groups, R*-style.
+
+    1. *Choose split axis*: for every dimension, sort entries by their
+       lower and by their upper boundary and sum the margins of all legal
+       two-group distributions; pick the dimension with the least sum.
+    2. *Choose split index*: on that axis pick the distribution with the
+       least overlap between the two group MBRs, ties broken by least
+       total volume.
+
+    Returns the entry index sets of both groups.
+    """
+    los = np.asarray(los, dtype=float)
+    his = np.asarray(his, dtype=float)
+    if los.ndim != 2 or los.shape != his.shape:
+        raise ValueError("los/his must be matching (n, d) arrays")
+    n, d = los.shape
+    if n < 2:
+        raise ValueError("cannot split fewer than two entries")
+    min_fill = max(1, int(min_fill_fraction * n))
+    if 2 * min_fill > n:
+        min_fill = n // 2
+    sizes = _distributions(n, min_fill)
+
+    best_axis = -1
+    best_axis_margin = np.inf
+    axis_orders: dict[int, list[np.ndarray]] = {}
+    for axis in range(d):
+        orders = [
+            np.argsort(los[:, axis], kind="stable"),
+            np.argsort(his[:, axis], kind="stable"),
+        ]
+        axis_orders[axis] = orders
+        margin_sum = 0.0
+        for order in orders:
+            for size in sizes:
+                left, right = order[:size], order[size:]
+                lo1, hi1 = _group_bounds(los, his, left)
+                lo2, hi2 = _group_bounds(los, his, right)
+                margin_sum += _margin(lo1, hi1) + _margin(lo2, hi2)
+        if margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = axis
+
+    best: SplitResult | None = None
+    for order in axis_orders[best_axis]:
+        for size in sizes:
+            left, right = order[:size], order[size:]
+            lo1, hi1 = _group_bounds(los, his, left)
+            lo2, hi2 = _group_bounds(los, his, right)
+            overlap = _overlap(lo1, hi1, lo2, hi2)
+            vol1, vol2 = _volume(lo1, hi1), _volume(lo2, hi2)
+            candidate = SplitResult(
+                left=left,
+                right=right,
+                axis=best_axis,
+                overlap=overlap,
+                left_volume=vol1,
+                right_volume=vol2,
+            )
+            if (
+                best is None
+                or candidate.overlap < best.overlap
+                or (
+                    candidate.overlap == best.overlap
+                    and candidate.total_volume < best.total_volume
+                )
+            ):
+                best = candidate
+    assert best is not None
+    return best

@@ -1,0 +1,123 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+STR (Leutenegger et al., ICDE 1997) packs n points into pages of at most
+``capacity`` points by recursively sorting along one dimension and
+slicing into vertical "slabs", producing compact, low-overlap leaf pages.
+It is the construction path used for the benchmark-scale trees; dynamic
+R*/X-tree insertion remains available for incremental maintenance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def str_partition(
+    points: np.ndarray,
+    capacity: int,
+    dims_order: list[int] | None = None,
+) -> list[np.ndarray]:
+    """Partition point indices into STR tiles of at most ``capacity``.
+
+    Returns a list of index arrays into ``points``; tiles are emitted in
+    lexicographic slab order, so consecutive tiles are spatially close --
+    a property the physical page layout inherits.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be an (n, d) array")
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    n, d = points.shape
+    if dims_order is None:
+        spreads = points.max(axis=0) - points.min(axis=0) if n else np.zeros(d)
+        dims_order = list(np.argsort(-spreads))
+    indices = np.arange(n, dtype=np.intp)
+    return _partition_recursive(points, indices, capacity, dims_order, 0)
+
+
+def _partition_recursive(
+    points: np.ndarray,
+    indices: np.ndarray,
+    capacity: int,
+    dims_order: list[int],
+    depth: int,
+) -> list[np.ndarray]:
+    n = indices.size
+    if n == 0:
+        return []
+    if n <= capacity:
+        return [indices]
+    if depth >= len(dims_order):
+        # All dimensions consumed: slice in current order.
+        return [indices[i : i + capacity] for i in range(0, n, capacity)]
+
+    n_pages = math.ceil(n / capacity)
+    remaining_dims = len(dims_order) - depth
+    # Number of slabs along this dimension: the (remaining_dims)-th root
+    # of the page count, as prescribed by STR.
+    n_slabs = max(1, round(n_pages ** (1.0 / remaining_dims)))
+    if n_slabs == 1:
+        return _partition_recursive(points, indices, capacity, dims_order, depth + 1)
+
+    axis = dims_order[depth]
+    order = indices[np.argsort(points[indices, axis], kind="stable")]
+    slab_size = math.ceil(n / n_slabs)
+    tiles: list[np.ndarray] = []
+    for start in range(0, n, slab_size):
+        slab = order[start : start + slab_size]
+        tiles.extend(
+            _partition_recursive(points, slab, capacity, dims_order, depth + 1)
+        )
+    return tiles
+
+
+def kd_partition(points: np.ndarray, capacity: int) -> list[np.ndarray]:
+    """Partition point indices by recursive widest-dimension median splits.
+
+    Classic STR degenerates in high dimensions: with ``P`` pages and
+    ``d`` dimensions the slab count per dimension is ``P**(1/d)``, which
+    rounds to one for ``d`` around 20, so the tiles become thin sorted
+    slices along a single dimension.  The kd-style loader instead splits
+    the *current subset* along its widest dimension at a page-aligned
+    median, recursing until a tile fits a page.  Leaf MBRs stay tight in
+    every dimension that matters locally, which is what gives the X-tree
+    its selectivity on clustered high-dimensional data.
+
+    Tiles are emitted in recursion order, so neighbouring tiles are
+    spatially close, like STR.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be an (n, d) array")
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    indices = np.arange(points.shape[0], dtype=np.intp)
+    out: list[np.ndarray] = []
+    _kd_recurse(points, indices, capacity, out)
+    return out
+
+
+def _kd_recurse(
+    points: np.ndarray, indices: np.ndarray, capacity: int, out: list[np.ndarray]
+) -> None:
+    n = indices.size
+    if n == 0:
+        return
+    if n <= capacity:
+        out.append(indices)
+        return
+    subset = points[indices]
+    axis = int(np.argmax(subset.max(axis=0) - subset.min(axis=0)))
+    order = indices[np.argsort(subset[:, axis], kind="stable")]
+    # Split at a page-aligned position closest to the median so both
+    # halves pack into full pages.
+    n_pages = math.ceil(n / capacity)
+    left_pages = n_pages // 2
+    split = min(left_pages * capacity, n - 1)
+    if split == 0:
+        split = capacity
+    _kd_recurse(points, order[:split], capacity, out)
+    _kd_recurse(points, order[split:], capacity, out)

@@ -1,0 +1,40 @@
+"""Metric-space substrate: distance functions and instrumented spaces.
+
+A metric database (Sec. 2 of the paper) is a database with a metric
+distance function over pairs of objects.  This package supplies the
+distance functions used in the evaluation (Euclidean on feature vectors,
+quadratic-form on colour histograms) plus further metrics for the general
+metric case (edit distance on strings), and :class:`MetricSpace`, the
+counting wrapper through which all query engines evaluate distances.
+"""
+
+from repro.metric.distances import (
+    ChebyshevDistance,
+    CosineAngularDistance,
+    DistanceFunction,
+    EuclideanDistance,
+    LevenshteinDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+    QuadraticFormDistance,
+    WeightedEuclideanDistance,
+    get_distance,
+)
+from repro.metric.space import MetricSpace
+from repro.metric.validation import MetricViolation, check_metric_axioms
+
+__all__ = [
+    "ChebyshevDistance",
+    "CosineAngularDistance",
+    "DistanceFunction",
+    "EuclideanDistance",
+    "LevenshteinDistance",
+    "ManhattanDistance",
+    "MetricSpace",
+    "MetricViolation",
+    "MinkowskiDistance",
+    "QuadraticFormDistance",
+    "WeightedEuclideanDistance",
+    "check_metric_axioms",
+    "get_distance",
+]

@@ -1,0 +1,93 @@
+"""Sampled validation of the metric axioms (Sec. 2 of the paper).
+
+The correctness of the triangle-inequality avoidance (Lemmas 1 and 2)
+depends on ``dist`` being a true metric.  :func:`check_metric_axioms`
+verifies identity, symmetry and the triangle inequality on sampled
+object pairs/triples and raises :class:`MetricViolation` on failure.
+It is used by the test suite and available to users who plug in custom
+distance functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Sequence
+
+from repro.metric.distances import DistanceFunction, get_distance
+
+
+class MetricViolation(AssertionError):
+    """Raised when a sampled check of the metric axioms fails."""
+
+
+def check_metric_axioms(
+    distance: str | DistanceFunction,
+    objects: Sequence[Any],
+    max_triples: int = 500,
+    rtol: float = 1e-9,
+    atol: float = 1e-7,
+    seed: int = 0,
+) -> None:
+    """Verify the metric axioms on samples drawn from ``objects``.
+
+    Checks, for sampled pairs and triples:
+
+    1. non-negativity and ``d(a, a) == 0`` (identity, one direction);
+    2. symmetry ``d(a, b) == d(b, a)``;
+    3. the triangle inequality ``d(a, c) <= d(a, b) + d(b, c)``.
+
+    The identity direction ``d(a, b) == 0 => a == b`` is not sampled
+    because synthetic datasets may legitimately contain duplicates.
+
+    Raises
+    ------
+    MetricViolation
+        With a message naming the violated axiom and the witnesses.
+    """
+    dist = get_distance(distance)
+    objects = list(objects)
+    if len(objects) < 2:
+        return
+    rng = random.Random(seed)
+
+    n_pairs = min(max_triples, len(objects) * (len(objects) - 1) // 2)
+    for _ in range(n_pairs):
+        a, b = rng.sample(range(len(objects)), 2)
+        d_ab = dist.one(objects[a], objects[b])
+        d_ba = dist.one(objects[b], objects[a])
+        if d_ab < 0 or d_ba < 0:
+            raise MetricViolation(f"negative distance for pair ({a}, {b})")
+        tolerance = rtol * max(1.0, abs(d_ab))
+        if abs(d_ab - d_ba) > tolerance:
+            raise MetricViolation(
+                f"symmetry violated for pair ({a}, {b}): {d_ab} != {d_ba}"
+            )
+
+    for i in rng.sample(range(len(objects)), min(len(objects), 50)):
+        d_ii = dist.one(objects[i], objects[i])
+        # ``atol`` absorbs float round-off such as arccos near 1.
+        if abs(d_ii) > atol:
+            raise MetricViolation(f"d(o, o) != 0 for object {i}: {d_ii}")
+
+    if len(objects) < 3:
+        return
+    triples: list[tuple[int, int, int]] = []
+    if len(objects) <= 12:
+        triples = list(itertools.combinations(range(len(objects)), 3))
+    else:
+        seen: set[tuple[int, int, int]] = set()
+        while len(seen) < max_triples:
+            triple = tuple(sorted(rng.sample(range(len(objects)), 3)))
+            seen.add(triple)  # type: ignore[arg-type]
+        triples = sorted(seen)
+    for a, b, c in triples:
+        d_ab = dist.one(objects[a], objects[b])
+        d_bc = dist.one(objects[b], objects[c])
+        d_ac = dist.one(objects[a], objects[c])
+        slack = rtol * max(1.0, d_ab + d_bc)
+        if d_ac > d_ab + d_bc + slack:
+            raise MetricViolation(
+                "triangle inequality violated for "
+                f"({a}, {b}, {c}): {d_ac} > {d_ab} + {d_bc}"
+            )

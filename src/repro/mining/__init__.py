@@ -1,0 +1,37 @@
+"""Data mining by iterative neighbourhood exploration (Sec. 3).
+
+:mod:`repro.mining.explore` implements the two generic schemes of
+Figs. 2 and 3; the sibling modules implement the paper's six discussed
+instances: manual data exploration, spatial association rules,
+density-based clustering (DBSCAN), simultaneous k-NN classification,
+spatial trend detection and proximity analysis.
+"""
+
+from repro.mining.assoc import NeighborhoodRule, spatial_association_rules
+from repro.mining.classify import knn_classify
+from repro.mining.dbscan import DBSCANResult, dbscan
+from repro.mining.exploration import ExplorationTrace, simulate_concurrent_exploration
+from repro.mining.explore import (
+    ExplorationCallbacks,
+    explore_neighborhoods,
+    explore_neighborhoods_multiple,
+)
+from repro.mining.proximity import ProximityReport, proximity_analysis
+from repro.mining.trend import TrendResult, detect_trends
+
+__all__ = [
+    "DBSCANResult",
+    "ExplorationCallbacks",
+    "ExplorationTrace",
+    "NeighborhoodRule",
+    "ProximityReport",
+    "TrendResult",
+    "dbscan",
+    "detect_trends",
+    "explore_neighborhoods",
+    "explore_neighborhoods_multiple",
+    "knn_classify",
+    "proximity_analysis",
+    "simulate_concurrent_exploration",
+    "spatial_association_rules",
+]

@@ -1,0 +1,142 @@
+"""Neighbourhood association rules (after Koperski & Han, SSD 1995).
+
+The paper's spatial-association-rules instance: for every object of a
+reference type, a similarity query retrieves its neighbourhood;
+``proc_2`` counts which other types co-occur, and rules of the form
+"reference type is close to type B" are reported with their support and
+confidence.  The queries are independent (one per reference object) and
+run through the multiple-query machinery.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.core.types import range_query
+
+
+@dataclass(frozen=True)
+class NeighborhoodRule:
+    """One discovered rule: ``reference_type -> close_to(other_type)``."""
+
+    reference_type: Any
+    other_type: Any
+    support: float
+    confidence: float
+    n_witnesses: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.reference_type!r} close_to {self.other_type!r} "
+            f"(support={self.support:.3f}, confidence={self.confidence:.3f})"
+        )
+
+
+def spatial_association_rules(
+    database: Database,
+    reference_type: Any,
+    eps: float,
+    min_support: float = 0.01,
+    min_confidence: float = 0.3,
+    labels: np.ndarray | None = None,
+    block_size: int = 32,
+) -> list[NeighborhoodRule]:
+    """Mine "reference type close to type B" rules.
+
+    Parameters
+    ----------
+    reference_type:
+        Label of the objects whose neighbourhoods are explored.
+    eps:
+        Neighbourhood radius (the ``SimType`` of the scheme).
+    min_support:
+        Minimum fraction of *all* database objects that are reference
+        objects with at least one type-B neighbour.
+    min_confidence:
+        Minimum fraction of reference objects with a type-B neighbour.
+    labels:
+        Object types; defaults to the dataset labels.
+
+    Returns
+    -------
+    Rules sorted by descending confidence.
+    """
+    if labels is None:
+        labels = database.dataset.labels
+    if labels is None:
+        raise ValueError("dataset has no labels and none were supplied")
+    labels = np.asarray(labels)
+    reference_indices = [int(i) for i in np.flatnonzero(labels == reference_type)]
+    if not reference_indices:
+        return []
+
+    witness_counts: Counter[Any] = Counter()
+    answer_sets = database.run_in_blocks(
+        [database.dataset[i] for i in reference_indices],
+        range_query(eps),
+        block_size=block_size,
+    )
+    for ref_index, answers in zip(reference_indices, answer_sets):
+        neighbor_types = {
+            labels[a.index] for a in answers if a.index != ref_index
+        }
+        neighbor_types.discard(reference_type)
+        for other in neighbor_types:
+            witness_counts[other] += 1
+
+    n_total = len(database.dataset)
+    n_reference = len(reference_indices)
+    rules = []
+    for other, count in witness_counts.items():
+        support = count / n_total
+        confidence = count / n_reference
+        if support >= min_support and confidence >= min_confidence:
+            rules.append(
+                NeighborhoodRule(
+                    reference_type=reference_type,
+                    other_type=other,
+                    support=support,
+                    confidence=confidence,
+                    n_witnesses=count,
+                )
+            )
+    rules.sort(key=lambda r: (-r.confidence, str(r.other_type)))
+    return rules
+
+
+def co_location_summary(
+    database: Database,
+    eps: float,
+    labels: Sequence[Any] | None = None,
+    block_size: int = 32,
+) -> dict[tuple[Any, Any], int]:
+    """Count neighbouring type pairs over the whole database.
+
+    A symmetric summary used by the examples: for every object, each
+    *distinct* neighbouring type contributes one witness to the
+    (type, neighbour type) pair.
+    """
+    if labels is None:
+        labels = database.dataset.labels
+    if labels is None:
+        raise ValueError("dataset has no labels and none were supplied")
+    labels = np.asarray(labels)
+    indices = list(range(len(database.dataset)))
+    answer_sets = database.run_in_blocks(
+        [database.dataset[i] for i in indices],
+        range_query(eps),
+        block_size=block_size,
+    )
+    counts: Counter[tuple[Any, Any]] = Counter()
+    for index, answers in zip(indices, answer_sets):
+        own = labels[index]
+        neighbor_types = {labels[a.index] for a in answers if a.index != index}
+        for other in neighbor_types:
+            if other != own:
+                counts[(own, other)] += 1
+    return dict(counts)

@@ -1,0 +1,70 @@
+"""Simultaneous k-NN classification (the paper's astronomy scenario).
+
+A set of objects is classified in one batch: a k-nearest-neighbour
+query runs for each object and the majority class among the neighbours
+is assigned ([18] in the paper).  ``proc_1`` is empty and the filter
+returns nothing -- no new query objects are generated -- which makes
+this the *independent multiple queries* extreme of the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.core.types import knn_query
+
+
+def knn_classify(
+    database: Database,
+    query_indices: Sequence[int],
+    k: int = 10,
+    block_size: int | None = None,
+    exclude_self: bool = False,
+    labels: np.ndarray | None = None,
+) -> list[Any]:
+    """Classify database objects by majority vote of their k-NN.
+
+    Parameters
+    ----------
+    query_indices:
+        Dataset indices of the objects to classify.
+    block_size:
+        Queries per multiple similarity query; ``None`` processes the
+        whole batch at once, 1 degenerates to single queries.
+    exclude_self:
+        Ignore the query object itself among the neighbours (standard
+        leave-one-out evaluation; the paper's production setting keeps
+        it, since newly observed stars are not yet in the database).
+    labels:
+        Class labels per dataset object; defaults to the dataset's own.
+
+    Returns
+    -------
+    The predicted label per query object.  Ties break towards the
+    smallest label, making the result deterministic.
+    """
+    if labels is None:
+        labels = database.dataset.labels
+    if labels is None:
+        raise ValueError("dataset has no labels and none were supplied")
+    effective_k = k + 1 if exclude_self else k
+    query_indices = [int(i) for i in query_indices]
+    queries = [database.dataset[i] for i in query_indices]
+    answer_sets = database.run_in_blocks(
+        queries,
+        knn_query(effective_k),
+        block_size=block_size if block_size is not None else max(1, len(queries)),
+        db_indices=query_indices,
+    )
+    predictions: list[Any] = []
+    for query_index, answers in zip(query_indices, answer_sets):
+        votes = [a.index for a in answers if not (exclude_self and a.index == query_index)]
+        votes = votes[:k]
+        counts = Counter(labels[i] for i in votes)
+        best = min(counts.items(), key=lambda item: (-item[1], item[0]))
+        predictions.append(best[0])
+    return predictions

@@ -1,0 +1,110 @@
+"""Manual data exploration by concurrent users (the image scenario).
+
+Sec. 6 simulates ``c`` users browsing an image database: each user
+starts at a random object and repeatedly jumps to one of the k most
+similar images of their current position.  In every round the system
+*prefetches* the k-NN of all ``c * k`` current answers with one multiple
+similarity query, so whichever image a user picks, its neighbourhood is
+already known.  This produces ``m = c * k`` highly *dependent* queries
+per round -- the opposite extreme from the independent classification
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.core.types import knn_query
+
+
+@dataclass
+class ExplorationTrace:
+    """What a simulated exploration session did."""
+
+    #: Per-round lists of query-object indices (length ``n_rounds + 1``;
+    #: round 0 is the initial one-query-per-user round).
+    rounds: list[list[int]] = field(default_factory=list)
+    #: Per-user browsing path (object indices in visit order).
+    user_paths: list[list[int]] = field(default_factory=list)
+    #: Total k-NN queries answered.
+    queries_issued: int = 0
+
+
+def simulate_concurrent_exploration(
+    database: Database,
+    n_users: int,
+    k: int,
+    n_rounds: int,
+    block_size: int | None = None,
+    seed: int = 0,
+) -> ExplorationTrace:
+    """Run the Sec. 6 manual-exploration workload.
+
+    Parameters
+    ----------
+    n_users, k:
+        Number of concurrent users and answers per query; each round
+        issues ``n_users * k`` k-NN queries (after the initial round of
+        ``n_users`` queries).
+    n_rounds:
+        Exploration rounds after the initial one.
+    block_size:
+        Queries per multiple similarity query; ``None`` batches each
+        round as one multiple query (the paper's setting).
+
+    Returns
+    -------
+    ExplorationTrace
+        Visit paths and query counts; query cost is measured by wrapping
+        the call in :meth:`Database.measure`.
+    """
+    if n_users < 1 or k < 1 or n_rounds < 0:
+        raise ValueError("n_users and k must be positive, n_rounds non-negative")
+    rng = np.random.default_rng(seed)
+    n = len(database.dataset)
+    trace = ExplorationTrace(user_paths=[[] for _ in range(n_users)])
+
+    def run_batch(indices: list[int]) -> dict[int, list[int]]:
+        """k-NN for each index; returns answer-index lists."""
+        trace.queries_issued += len(indices)
+        answer_sets = database.run_in_blocks(
+            [database.dataset[i] for i in indices],
+            knn_query(k),
+            block_size=block_size if block_size is not None else max(1, len(indices)),
+            db_indices=indices,
+        )
+        return {
+            index: [a.index for a in answers]
+            for index, answers in zip(indices, answer_sets)
+        }
+
+    # Initial round: one random start object per user.
+    starts = [int(i) for i in rng.integers(0, n, size=n_users)]
+    trace.rounds.append(list(starts))
+    for user, start in enumerate(starts):
+        trace.user_paths[user].append(start)
+    answers_by_object = run_batch(starts)
+    current_answers = [answers_by_object[start] for start in starts]
+
+    for _ in range(n_rounds):
+        # Prefetch the neighbourhoods of every current answer...
+        round_queries = sorted({i for answers in current_answers for i in answers})
+        if not round_queries:
+            break
+        trace.rounds.append(round_queries)
+        answers_by_object = run_batch(round_queries)
+        # ... then each user picks one answer and moves there.
+        next_answers: list[list[int]] = []
+        for user in range(n_users):
+            options = current_answers[user]
+            if not options:
+                next_answers.append([])
+                continue
+            choice = int(options[int(rng.integers(0, len(options)))])
+            trace.user_paths[user].append(choice)
+            next_answers.append(answers_by_object[choice])
+        current_answers = next_answers
+    return trace

@@ -1,0 +1,157 @@
+"""The generic ExploreNeighborhoods schemes (Figs. 2 and 3).
+
+``explore_neighborhoods`` is the single-query scheme: starting from a
+set of objects, repeatedly take an object from the control list, run a
+similarity query for it, process the answers, and enqueue the filtered
+answers.  ``explore_neighborhoods_multiple`` is the purely syntactic
+transformation of Sec. 3.3: a *set* of control-list objects is handed to
+one multiple similarity query, but only the first object and its answer
+set are consumed per iteration -- the rest is prefetching hints to the
+DBMS.  Both functions perform exactly the same task; the test suite
+asserts identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.answers import Answer
+from repro.core.database import Database
+from repro.core.multi_query import MultiQueryProcessor
+from repro.core.types import QueryType
+
+
+@dataclass
+class ExplorationCallbacks:
+    """The task-specific plug-ins of the scheme.
+
+    Attributes
+    ----------
+    proc_1:
+        Called with the selected object index before its query runs.
+    proc_2:
+        Called with ``(object_index, answers)`` after the query.
+    filter:
+        Called with ``(object_index, answers)``; returns the answer
+        indices to enqueue.  The scheme itself removes indices that were
+        ever enqueued before, which guarantees termination (Sec. 3.1).
+    condition_check:
+        Called with the current control list; returning ``False`` stops
+        the loop early.
+    """
+
+    proc_1: Callable[[int], None] | None = None
+    proc_2: Callable[[int, list[Answer]], None] | None = None
+    filter: Callable[[int, list[Answer]], Iterable[int]] | None = None
+    condition_check: Callable[[Sequence[int]], bool] | None = None
+
+
+@dataclass
+class ExplorationStats:
+    """What an exploration run did (for tests and reports)."""
+
+    queries_issued: int = 0
+    objects_visited: list[int] = field(default_factory=list)
+
+
+def _default_filter(obj_index: int, answers: list[Answer]) -> list[int]:
+    return [a.index for a in answers]
+
+
+def explore_neighborhoods(
+    database: Database,
+    start_objects: Sequence[int],
+    sim_type: QueryType,
+    callbacks: ExplorationCallbacks | None = None,
+    max_iterations: int | None = None,
+) -> ExplorationStats:
+    """The single-query scheme of Fig. 2 over dataset object indices."""
+    callbacks = callbacks or ExplorationCallbacks()
+    filter_fn = callbacks.filter or _default_filter
+    control: dict[int, None] = dict.fromkeys(int(i) for i in start_objects)
+    ever_enqueued = set(control)
+    stats = ExplorationStats()
+
+    while control:
+        if callbacks.condition_check is not None and not callbacks.condition_check(
+            list(control)
+        ):
+            break
+        if max_iterations is not None and stats.queries_issued >= max_iterations:
+            break
+        obj_index = next(iter(control))
+        if callbacks.proc_1 is not None:
+            callbacks.proc_1(obj_index)
+        answers = database.similarity_query(database.dataset[obj_index], sim_type)
+        stats.queries_issued += 1
+        stats.objects_visited.append(obj_index)
+        if callbacks.proc_2 is not None:
+            callbacks.proc_2(obj_index, answers)
+        fresh = [
+            int(i) for i in filter_fn(obj_index, answers) if i not in ever_enqueued
+        ]
+        del control[obj_index]
+        for index in fresh:
+            control[index] = None
+            ever_enqueued.add(index)
+    return stats
+
+
+def explore_neighborhoods_multiple(
+    database: Database,
+    start_objects: Sequence[int],
+    sim_type: QueryType,
+    callbacks: ExplorationCallbacks | None = None,
+    batch_size: int = 16,
+    max_iterations: int | None = None,
+    processor: MultiQueryProcessor | None = None,
+) -> ExplorationStats:
+    """The multiple-query scheme of Fig. 3.
+
+    Performs exactly the same task as :func:`explore_neighborhoods`
+    (identical visit order, identical callback invocations); the only
+    difference is that each iteration hands the first ``batch_size``
+    control-list objects to one multiple similarity query, letting the
+    processor prefetch partial answers for the objects that will be
+    selected in later iterations.
+    """
+    if batch_size < 1:
+        raise ValueError("batch size must be positive")
+    callbacks = callbacks or ExplorationCallbacks()
+    filter_fn = callbacks.filter or _default_filter
+    control: dict[int, None] = dict.fromkeys(int(i) for i in start_objects)
+    ever_enqueued = set(control)
+    stats = ExplorationStats()
+    proc = processor if processor is not None else database.processor(
+        seed_from_queries=True
+    )
+
+    while control:
+        if callbacks.condition_check is not None and not callbacks.condition_check(
+            list(control)
+        ):
+            break
+        if max_iterations is not None and stats.queries_issued >= max_iterations:
+            break
+        batch = list(control)[:batch_size]
+        first = batch[0]
+        if callbacks.proc_1 is not None:
+            callbacks.proc_1(first)
+        answers = proc.process(
+            [database.dataset[i] for i in batch],
+            [sim_type] * len(batch),
+            keys=batch,
+            db_indices=batch,
+        )
+        stats.queries_issued += 1
+        stats.objects_visited.append(first)
+        if callbacks.proc_2 is not None:
+            callbacks.proc_2(first, answers)
+        fresh = [int(i) for i in filter_fn(first, answers) if i not in ever_enqueued]
+        del control[first]
+        proc.retire(first)
+        for index in fresh:
+            control[index] = None
+            ever_enqueued.add(index)
+    return stats

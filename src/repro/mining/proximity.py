@@ -1,0 +1,108 @@
+"""Proximity analysis (after Knorr & Ng, TKDE 1996).
+
+The goal is to explain a cluster of objects by the features of its
+neighbours: first find the top-k database objects closest to the
+cluster, then extract the features most of them share.  In the scheme's
+terms, ``StartObjects`` is the cluster, ``proc_2`` aggregates the
+closest outsiders, and the filter returns nothing (no new queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.core.types import knn_query
+
+
+@dataclass(frozen=True)
+class CommonFeature:
+    """A feature bucket shared by most of the top-k closest objects."""
+
+    dimension: int
+    bucket: int
+    fraction: float
+    bucket_range: tuple[float, float]
+
+
+@dataclass
+class ProximityReport:
+    """Result of :func:`proximity_analysis`."""
+
+    cluster: list[int]
+    closest: list[tuple[int, float]]
+    common_features: list[CommonFeature]
+
+
+def proximity_analysis(
+    database: Database,
+    cluster_indices: Sequence[int],
+    top_k: int = 10,
+    per_member_k: int = 10,
+    n_buckets: int = 4,
+    min_fraction: float = 0.6,
+) -> ProximityReport:
+    """Find the top-k objects closest to a cluster and their common features.
+
+    The distance of an outside object to the cluster is its minimum
+    distance to any cluster member (single-link).  One multiple
+    similarity query retrieves the ``per_member_k`` nearest neighbours
+    of every member; the union, ranked by distance, yields the top-k
+    outsiders.  Features are then discretised into ``n_buckets``
+    equi-width buckets over the dataset range, and buckets shared by at
+    least ``min_fraction`` of the top-k are reported.
+    """
+    if not database.dataset.is_vector:
+        raise ValueError("proximity analysis needs a vector dataset")
+    cluster = [int(i) for i in cluster_indices]
+    if not cluster:
+        raise ValueError("cluster must not be empty")
+    member_set = set(cluster)
+
+    answer_sets = database.multiple_similarity_query(
+        [database.dataset[i] for i in cluster],
+        knn_query(per_member_k + len(cluster)),
+    )
+    best: dict[int, float] = {}
+    for answers in answer_sets:
+        for answer in answers:
+            if answer.index in member_set:
+                continue
+            previous = best.get(answer.index)
+            if previous is None or answer.distance < previous:
+                best[answer.index] = answer.distance
+    closest = sorted(best.items(), key=lambda item: (item[1], item[0]))[:top_k]
+
+    vectors = database.dataset.vectors
+    lo = vectors.min(axis=0)
+    hi = vectors.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    common: list[CommonFeature] = []
+    if closest:
+        top_vectors = vectors[[index for index, _ in closest]]
+        buckets = np.clip(
+            ((top_vectors - lo) / span * n_buckets).astype(int), 0, n_buckets - 1
+        )
+        for dim in range(vectors.shape[1]):
+            values, counts = np.unique(buckets[:, dim], return_counts=True)
+            top = int(np.argmax(counts))
+            fraction = counts[top] / len(closest)
+            if fraction >= min_fraction:
+                bucket = int(values[top])
+                width = span[dim] / n_buckets
+                common.append(
+                    CommonFeature(
+                        dimension=dim,
+                        bucket=bucket,
+                        fraction=float(fraction),
+                        bucket_range=(
+                            float(lo[dim] + bucket * width),
+                            float(lo[dim] + (bucket + 1) * width),
+                        ),
+                    )
+                )
+    common.sort(key=lambda f: (-f.fraction, f.dimension))
+    return ProximityReport(cluster=cluster, closest=closest, common_features=common)

@@ -1,0 +1,131 @@
+"""Spatial trend detection (after Ester, Frommelt, Kriegel, Sander, KDD 1998).
+
+A *spatial trend* is a regular change of a non-spatial attribute when
+moving away from a start object.  Neighbourhood paths starting at the
+object model the movement, and a linear regression of the attribute
+difference against the distance from the start describes the regularity
+of change.  The ExploreNeighborhoods loop is bounded by the path length
+(the ``condition_check`` of the scheme), and ``proc_1``/``proc_2``
+perform the regression bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.core.types import knn_query
+
+
+@dataclass
+class TrendPath:
+    """One neighbourhood path and its regression."""
+
+    objects: list[int]
+    distances: list[float]
+    attribute_deltas: list[float]
+    slope: float
+    r_squared: float
+
+
+@dataclass
+class TrendResult:
+    """All paths explored from one start object."""
+
+    start: int
+    paths: list[TrendPath] = field(default_factory=list)
+
+    @property
+    def mean_slope(self) -> float:
+        """Average regression slope over all paths."""
+        if not self.paths:
+            return 0.0
+        return float(np.mean([p.slope for p in self.paths]))
+
+    def significant_paths(self, min_r_squared: float = 0.5) -> list[TrendPath]:
+        """Paths whose regression explains at least ``min_r_squared``."""
+        return [p for p in self.paths if p.r_squared >= min_r_squared]
+
+
+def _regress(distances: np.ndarray, deltas: np.ndarray) -> tuple[float, float]:
+    """Least-squares slope and R^2 of deltas over distances."""
+    if distances.size < 2 or np.allclose(distances, distances[0]):
+        return 0.0, 0.0
+    design = np.vstack([distances, np.ones_like(distances)]).T
+    (slope, intercept), *_ = np.linalg.lstsq(design, deltas, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    total = float(np.sum((deltas - deltas.mean()) ** 2))
+    residual = float(np.sum((deltas - predicted) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 0.0
+    return float(slope), float(max(0.0, r_squared))
+
+
+def detect_trends(
+    database: Database,
+    start: int,
+    attribute: np.ndarray,
+    n_paths: int = 8,
+    path_length: int = 5,
+    k: int = 8,
+    seed: int = 0,
+) -> TrendResult:
+    """Explore neighbourhood paths from ``start`` and regress an attribute.
+
+    Parameters
+    ----------
+    start:
+        Dataset index of the start object.
+    attribute:
+        Per-object attribute values (e.g. average economic power in the
+        paper's motivating example).
+    n_paths, path_length:
+        Number of random neighbourhood paths and their maximum length
+        (the scheme's step bound).
+    k:
+        Neighbours retrieved per step; the next path object is a random
+        unvisited neighbour.
+
+    Each path's queries run through one shared multiple-query processor,
+    so neighbourhood pages are shared between path steps.
+    """
+    attribute = np.asarray(attribute, dtype=float)
+    if attribute.shape[0] != len(database.dataset):
+        raise ValueError("attribute must have one value per dataset object")
+    rng = np.random.default_rng(seed)
+    processor = database.processor(seed_from_queries=False)
+    result = TrendResult(start=int(start))
+    start_obj = database.dataset[start]
+    qtype = knn_query(k)
+
+    for _ in range(n_paths):
+        current = int(start)
+        visited = {current}
+        objects = [current]
+        distances = [0.0]
+        deltas = [0.0]
+        for _ in range(path_length):
+            answers = processor.process(
+                [database.dataset[current]], [qtype], keys=[("trend", current)]
+            )
+            candidates = [a.index for a in answers if a.index not in visited]
+            if not candidates:
+                break
+            nxt = int(candidates[int(rng.integers(0, len(candidates)))])
+            visited.add(nxt)
+            objects.append(nxt)
+            distances.append(database.space.uncounted(start_obj, database.dataset[nxt]))
+            deltas.append(float(attribute[nxt] - attribute[start]))
+            current = nxt
+        slope, r_squared = _regress(np.asarray(distances), np.asarray(deltas))
+        result.paths.append(
+            TrendPath(
+                objects=objects,
+                distances=distances,
+                attribute_deltas=deltas,
+                slope=slope,
+                r_squared=r_squared,
+            )
+        )
+    return result

@@ -1,0 +1,31 @@
+"""Shared-nothing parallel processing of multiple similarity queries (Sec. 5.3).
+
+The paper's parallel setting: the data is *declustered* over ``s``
+servers; every server answers the same multiple similarity query on its
+local partition (1/s of the data), and the per-query answer sets are
+merged.  Because every server also gets s times the aggregate buffer
+memory, the block size of a multiple query grows to ``m * s``, which is
+what produces super-linear speed-ups -- until the O(m^2) query-distance
+matrix and avoidance overheads catch up (the sub-linear regime the
+paper observes on the smaller image database).
+
+:class:`ParallelDatabase` simulates this: one :class:`Database` per
+server partition, elapsed cost = max over the servers' modelled costs.
+"""
+
+from repro.parallel.decluster import (
+    hash_decluster,
+    random_decluster,
+    range_decluster,
+    round_robin_decluster,
+)
+from repro.parallel.executor import ParallelDatabase, ParallelRun
+
+__all__ = [
+    "ParallelDatabase",
+    "ParallelRun",
+    "hash_decluster",
+    "random_decluster",
+    "range_decluster",
+    "round_robin_decluster",
+]

@@ -1,0 +1,69 @@
+"""Data declustering strategies for the shared-nothing simulator.
+
+The paper names data declustering strategies as future work (Sec. 7);
+four standard strategies are provided so their effect can be measured
+(see the declustering ablation benchmark):
+
+* **round robin** -- object ``i`` goes to server ``i mod s``; spreads
+  every cluster over every server (best load balance);
+* **random** -- like round robin in expectation, seedable;
+* **hash** -- deterministic hash of the object index;
+* **range** -- contiguous chunks in storage order; keeps clusters
+  together (worst load balance for skewed query workloads, but the
+  cheapest to maintain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(n_objects: int, n_servers: int) -> None:
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    if n_objects < n_servers:
+        raise ValueError("need at least one object per server")
+
+
+def round_robin_decluster(n_objects: int, n_servers: int) -> list[np.ndarray]:
+    """Assign object ``i`` to server ``i mod n_servers``."""
+    _validate(n_objects, n_servers)
+    indices = np.arange(n_objects, dtype=np.intp)
+    return [indices[s::n_servers] for s in range(n_servers)]
+
+
+def random_decluster(
+    n_objects: int, n_servers: int, seed: int = 0
+) -> list[np.ndarray]:
+    """Assign objects to servers uniformly at random (balanced sizes)."""
+    _validate(n_objects, n_servers)
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n_objects).astype(np.intp)
+    return [np.sort(permutation[s::n_servers]) for s in range(n_servers)]
+
+
+def hash_decluster(n_objects: int, n_servers: int) -> list[np.ndarray]:
+    """Assign object ``i`` by a multiplicative hash of its index."""
+    _validate(n_objects, n_servers)
+    indices = np.arange(n_objects, dtype=np.uint64)
+    hashed = (indices * np.uint64(2654435761)) % np.uint64(2**32)
+    assignment = (hashed % np.uint64(n_servers)).astype(np.intp)
+    return [
+        np.flatnonzero(assignment == s).astype(np.intp) for s in range(n_servers)
+    ]
+
+
+def range_decluster(n_objects: int, n_servers: int) -> list[np.ndarray]:
+    """Split the storage order into ``n_servers`` contiguous chunks."""
+    _validate(n_objects, n_servers)
+    bounds = np.linspace(0, n_objects, n_servers + 1).astype(int)
+    indices = np.arange(n_objects, dtype=np.intp)
+    return [indices[bounds[s] : bounds[s + 1]] for s in range(n_servers)]
+
+
+DECLUSTER_STRATEGIES = {
+    "round_robin": round_robin_decluster,
+    "random": random_decluster,
+    "hash": hash_decluster,
+    "range": range_decluster,
+}

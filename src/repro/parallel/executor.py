@@ -1,0 +1,342 @@
+"""Simulated shared-nothing execution of multiple similarity queries.
+
+Each server owns one partition of the data with its own disk, buffer and
+access method, and processes the *same* multiple similarity query on its
+local data.  Per-query answers are merged (k best of the union for k-NN,
+union for range queries).  Modelled elapsed time is the maximum over the
+servers' modelled costs -- the paper's communication overhead "is very
+small" (Sec. 5.3) and is neglected, like the merge itself.
+
+Global correctness of per-server pruning: every optimisation a server
+applies (query-distance matrix seeding, avoidance, page pruning) only
+suppresses local answers that are provably farther than the query's
+current k-th candidate; such objects can never enter the merged global
+top-k, so merging the per-server answer lists yields exactly the global
+answer set.
+
+Following the parallel similarity-search design the paper builds on
+([1], Berchtold et al., SIGMOD 1997), servers coordinate through cheap
+candidate bounds: with ``share_home_bounds`` every query object's *home*
+server (the one storing it) first processes the query's best local page,
+and the resulting k-candidate distance -- a sound upper bound on the
+global k-th-NN distance, since local candidates are global candidates --
+is broadcast to all servers as their initial query distance.  The
+broadcast itself is communication and, like the answer merge, is
+neglected in the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.answers import Answer
+from repro.core.database import Database, MeasuredRun
+from repro.core.multi_query import MultiQueryProcessor
+from repro.core.types import QueryType
+from repro.data import Dataset, GenericDataset, VectorDataset, as_dataset
+from repro.metric.distances import DistanceFunction
+from repro.parallel.decluster import DECLUSTER_STRATEGIES
+from repro.storage.page import DEFAULT_BLOCK_SIZE
+
+
+@dataclass
+class _Server:
+    """One shared-nothing server: a partition plus its own database."""
+
+    server_id: int
+    global_indices: np.ndarray
+    database: Database
+
+    def to_global(self, answers: list[Answer]) -> list[Answer]:
+        """Translate local answer indices to global dataset indices."""
+        return [
+            Answer(int(self.global_indices[a.index]), a.distance) for a in answers
+        ]
+
+
+@dataclass
+class _Block:
+    """One parallel multiple-query block."""
+
+    objs: list[Any]
+    qtypes: list[QueryType]
+    db_indices: list[int] | None
+    seed_radius: list[float] | None
+
+    def key(self, position: int) -> Any:
+        """Buffer key of the query at ``position`` (stable per block)."""
+        if self.db_indices is not None:
+            return ("parallel", int(self.db_indices[position]))
+        return ("parallel-pos", position)
+
+
+@dataclass
+class ParallelRun:
+    """Result of one parallel multiple similarity query."""
+
+    answers: list[list[Answer]]
+    per_server: list[MeasuredRun]
+
+    @property
+    def elapsed_io_seconds(self) -> float:
+        """Modelled elapsed I/O time (slowest server)."""
+        return max(run.io_seconds for run in self.per_server)
+
+    @property
+    def elapsed_cpu_seconds(self) -> float:
+        """Modelled elapsed CPU time (slowest server)."""
+        return max(run.cpu_seconds for run in self.per_server)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Modelled elapsed total time (slowest server, I/O + CPU)."""
+        return max(run.total_seconds for run in self.per_server)
+
+    @property
+    def aggregate_seconds(self) -> float:
+        """Total work across all servers (for efficiency analyses)."""
+        return sum(run.total_seconds for run in self.per_server)
+
+
+def _slice_dataset(dataset: Dataset, indices: np.ndarray) -> Dataset:
+    labels = dataset.labels[indices] if dataset.labels is not None else None
+    if isinstance(dataset, VectorDataset):
+        return VectorDataset(dataset.vectors[indices], labels=labels)
+    return GenericDataset(dataset.batch(indices), labels=labels)
+
+
+class ParallelDatabase:
+    """A metric database declustered over ``n_servers`` servers.
+
+    Parameters mirror :class:`~repro.core.database.Database`; the extra
+    ``decluster`` parameter picks the partitioning strategy
+    (``"round_robin"``, ``"random"``, ``"hash"``, ``"range"``).
+    """
+
+    def __init__(
+        self,
+        data: Dataset | np.ndarray | Sequence[Any],
+        n_servers: int,
+        metric: str | DistanceFunction = "euclidean",
+        access: str = "scan",
+        decluster: str = "round_robin",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        buffer_fraction: float = 0.1,
+        engine: str = "auto",
+        index_options: dict[str, Any] | None = None,
+    ):
+        self.dataset = as_dataset(data)
+        try:
+            strategy = DECLUSTER_STRATEGIES[decluster]
+        except KeyError:
+            known = ", ".join(sorted(DECLUSTER_STRATEGIES))
+            raise ValueError(
+                f"unknown decluster strategy {decluster!r}; known: {known}"
+            )
+        partitions = strategy(len(self.dataset), n_servers)
+        self.n_servers = n_servers
+        self.servers = [
+            _Server(
+                server_id=s,
+                global_indices=np.asarray(part, dtype=np.intp),
+                database=Database(
+                    _slice_dataset(self.dataset, np.asarray(part, dtype=np.intp)),
+                    metric=metric,
+                    access=access,
+                    block_size=block_size,
+                    buffer_fraction=buffer_fraction,
+                    engine=engine,
+                    index_options=dict(index_options) if index_options else None,
+                ),
+            )
+            for s, part in enumerate(partitions)
+        ]
+        self._home_server: dict[int, int] = {}
+        self._local_index: dict[int, int] = {}
+        for server in self.servers:
+            for local, global_index in enumerate(server.global_indices):
+                self._home_server[int(global_index)] = server.server_id
+                self._local_index[int(global_index)] = local
+
+    def cold(self) -> None:
+        """Clear every server's buffer."""
+        for server in self.servers:
+            server.database.cold()
+
+    def multiple_similarity_query(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        block_size: int | None = None,
+        use_avoidance: bool = True,
+        warm_start: bool = False,
+        seed_radius: Sequence[float] | None = None,
+        db_indices: Sequence[int] | None = None,
+        share_home_bounds: bool = True,
+    ) -> ParallelRun:
+        """Process a batch of queries on all servers and merge.
+
+        ``block_size`` bounds the per-server multiple-query block (the
+        paper uses ``m * s`` for the whole batch, i.e. one block);
+        ``seed_radius`` optionally supplies a per-query upper bound on
+        the final query distance, and ``db_indices`` (global dataset
+        indices) enables radius seeding from the query distance matrix
+        plus, with ``share_home_bounds``, the home-server candidate-bound
+        broadcast.  Both only suppress local answers provably outside the
+        global top-k, so the merged answers are unaffected.
+        """
+        if isinstance(qtypes, QueryType):
+            qtypes = [qtypes] * len(query_objs)
+        qtypes = list(qtypes)
+        if len(qtypes) != len(query_objs):
+            raise ValueError("need one query type per query object")
+        if db_indices is not None and len(db_indices) != len(query_objs):
+            raise ValueError("need one dataset index per query object")
+        effective_block = block_size if block_size is not None else len(query_objs)
+        if effective_block < 1:
+            raise ValueError("block size must be positive")
+
+        snapshots = [server.database.counters.copy() for server in self.servers]
+        per_server_answers: list[list[list[Answer]]] = [[] for _ in self.servers]
+        for start in range(0, len(query_objs), effective_block):
+            stop = start + effective_block
+            block = _Block(
+                objs=list(query_objs[start:stop]),
+                qtypes=qtypes[start:stop],
+                db_indices=(
+                    list(db_indices[start:stop]) if db_indices is not None else None
+                ),
+                seed_radius=(
+                    list(seed_radius[start:stop])
+                    if seed_radius is not None
+                    else None
+                ),
+            )
+            block_results = self._run_block(
+                block, use_avoidance, warm_start, share_home_bounds
+            )
+            for s, local in enumerate(block_results):
+                per_server_answers[s].extend(local)
+
+        per_server_runs = [
+            MeasuredRun(
+                server.database.counters.diff(snapshot),
+                server.database.cost_model,
+            )
+            for server, snapshot in zip(self.servers, snapshots)
+        ]
+        merged = [
+            self._merge(
+                qtypes[q],
+                [
+                    self.servers[s].to_global(per_server_answers[s][q])
+                    for s in range(self.n_servers)
+                ],
+            )
+            for q in range(len(query_objs))
+        ]
+        return ParallelRun(answers=merged, per_server=per_server_runs)
+
+    def _run_block(
+        self,
+        block: _Block,
+        use_avoidance: bool,
+        warm_start: bool,
+        share_home_bounds: bool,
+    ) -> list[list[list[Answer]]]:
+        """One parallel multiple similarity query over all servers."""
+        processors: list[MultiQueryProcessor] = []
+        for server in self.servers:
+            processor = server.database.processor(
+                use_avoidance=use_avoidance,
+                warm_start=warm_start,
+                seed_from_queries=block.db_indices is not None,
+            )
+            pendings = [
+                processor.admit(
+                    obj,
+                    qtype,
+                    key=block.key(position),
+                    db_index=(
+                        block.db_indices[position]
+                        if block.db_indices is not None
+                        else None
+                    ),
+                )
+                for position, (obj, qtype) in enumerate(
+                    zip(block.objs, block.qtypes)
+                )
+            ]
+            if block.db_indices is not None:
+                processor._seed_radius_hints(pendings)
+            if block.seed_radius is not None:
+                for pending, radius in zip(pendings, block.seed_radius):
+                    if radius < pending.radius_hint:
+                        pending.radius_hint = float(radius)
+            processors.append(processor)
+
+        if share_home_bounds and block.db_indices is not None:
+            self._broadcast_home_bounds(processors, block)
+
+        return [
+            processor.query_all(
+                block.objs,
+                block.qtypes,
+                keys=[block.key(p) for p in range(len(block.objs))],
+                db_indices=block.db_indices,
+            )
+            for processor in processors
+        ]
+
+    def _broadcast_home_bounds(
+        self, processors: list[MultiQueryProcessor], block: _Block
+    ) -> None:
+        """Phase 1 of the coordinated parallel k-NN (after [1]).
+
+        Each query's home server warms the query up on its best local
+        page; the resulting candidate bound is broadcast to the other
+        servers as an initial query distance.  The bound is sound for the
+        merged result because the home candidates are global candidates,
+        so their k-th distance bounds the global k-th-NN distance.
+        """
+        assert block.db_indices is not None
+        bounds: dict[int, float] = {}
+        for position, global_index in enumerate(block.db_indices):
+            home = self._home_server.get(int(global_index))
+            if home is None:
+                continue
+            processor = processors[home]
+            pending = processor._pending[block.key(position)]
+            if not pending.qtype.adapts_radius:
+                continue
+            processor._warm_up([pending])
+            radius = pending.radius
+            if radius < float("inf"):
+                bounds[position] = radius
+        for s, processor in enumerate(processors):
+            for position, bound in bounds.items():
+                if self._home_server.get(int(block.db_indices[position])) == s:
+                    continue
+                pending = processor._pending[block.key(position)]
+                if bound < pending.radius_hint:
+                    pending.radius_hint = bound
+
+    @staticmethod
+    def _merge(qtype: QueryType, per_server: list[list[Answer]]) -> list[Answer]:
+        union = [answer for answers in per_server for answer in answers]
+        union.sort(key=lambda a: (a.distance, a.index))
+        if qtype.adapts_radius:
+            return union[: qtype.k]
+        return union
+
+    def summary(self) -> dict[str, Any]:
+        """Structural summary of the cluster."""
+        return {
+            "servers": self.n_servers,
+            "objects": len(self.dataset),
+            "per_server": [len(s.database) for s in self.servers],
+            "access": self.servers[0].database.access_method.name,
+        }

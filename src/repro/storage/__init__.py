@@ -1,0 +1,24 @@
+"""Storage substrate: simulated disk, pages and buffer management.
+
+The paper measures I/O cost as the number (and kind) of disk-block reads
+on a system with 32 KB blocks and an LRU buffer sized at 10 % of the
+index.  This package reproduces that model: datasets are laid out on
+:class:`Page` objects with physical addresses, a :class:`SimulatedDisk`
+charges sequential or random block reads to the shared counters, and an
+:class:`LRUBufferPool` absorbs re-reads of hot pages.
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.layout import data_page_capacity, paginate
+from repro.storage.page import DEFAULT_BLOCK_SIZE, Page, PageKind
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "LRUBufferPool",
+    "Page",
+    "PageKind",
+    "SimulatedDisk",
+    "data_page_capacity",
+    "paginate",
+]

@@ -1,0 +1,67 @@
+"""LRU buffer pool for the simulated disk."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUBufferPool:
+    """Least-recently-used page buffer with a capacity in blocks.
+
+    The paper's evaluation used a buffer sized at 10 % of the X-tree
+    (Sec. 6).  A page request that hits the buffer causes no physical
+    I/O.  Pages larger than one block (X-tree supernodes) occupy their
+    full block count in the pool.
+
+    A capacity of zero disables buffering entirely.
+    """
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 0:
+            raise ValueError("buffer capacity cannot be negative")
+        self.capacity_blocks = capacity_blocks
+        self._pages: OrderedDict[int, int] = OrderedDict()
+        self._used_blocks = 0
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently occupied by buffered pages."""
+        return self._used_blocks
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def access(self, page_id: int, n_blocks: int = 1) -> bool:
+        """Record an access to ``page_id``; return ``True`` on a hit.
+
+        On a miss the page is admitted (when it fits at all) and the
+        least-recently-used pages are evicted to make room.
+        """
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            return True
+        self._admit(page_id, n_blocks)
+        return False
+
+    def _admit(self, page_id: int, n_blocks: int) -> None:
+        if n_blocks > self.capacity_blocks:
+            return
+        while self._used_blocks + n_blocks > self.capacity_blocks:
+            _, evicted_blocks = self._pages.popitem(last=False)
+            self._used_blocks -= evicted_blocks
+        self._pages[page_id] = n_blocks
+        self._used_blocks += n_blocks
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop ``page_id`` from the pool (e.g. after a page split)."""
+        blocks = self._pages.pop(page_id, None)
+        if blocks is not None:
+            self._used_blocks -= blocks
+
+    def clear(self) -> None:
+        """Empty the pool (cold-cache experiments)."""
+        self._pages.clear()
+        self._used_blocks = 0

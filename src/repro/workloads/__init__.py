@@ -1,0 +1,26 @@
+"""Synthetic stand-ins for the paper's evaluation datasets and queries.
+
+The paper evaluated on two proprietary datasets: 20-d feature vectors of
+1,000,000 stars (Tycho catalogue) and 64-d colour histograms of 112,000
+TV snapshots.  Neither is available, so this package generates datasets
+with the *distributional properties the paper's effects depend on* --
+see DESIGN.md, substitution table -- at sizes that run on a laptop.
+"""
+
+from repro.workloads.generators import (
+    make_astronomy,
+    make_gaussian_mixture,
+    make_image_histograms,
+    make_uniform,
+    make_web_sessions,
+)
+from repro.workloads.queries import sample_database_queries
+
+__all__ = [
+    "make_astronomy",
+    "make_gaussian_mixture",
+    "make_image_histograms",
+    "make_uniform",
+    "make_web_sessions",
+    "sample_database_queries",
+]

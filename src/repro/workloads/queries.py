@@ -1,0 +1,31 @@
+"""Query workload generators for the Sec. 6 evaluation scenarios.
+
+The independent-query workload (astronomy scenario) lives here; the
+dependent-query workload (manual exploration by concurrent users, image
+scenario) is a full simulator and lives in
+:mod:`repro.mining.exploration`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import Dataset
+
+
+def sample_database_queries(
+    dataset: Dataset, n_queries: int, seed: int = 0
+) -> list[int]:
+    """Independent queries: ``n_queries`` random database objects.
+
+    This is the astronomy scenario of Sec. 6 (simultaneous
+    classification): "M objects from the database were chosen randomly".
+    Returns dataset indices; sampled without replacement when possible.
+    """
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    if n == 0:
+        raise ValueError("cannot sample queries from an empty dataset")
+    if n_queries <= n:
+        return [int(i) for i in rng.choice(n, size=n_queries, replace=False)]
+    return [int(i) for i in rng.integers(0, n, size=n_queries)]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_vectors():
+    """A small clustered vector dataset shared across tests."""
+    generator = np.random.default_rng(7)
+    centers = generator.random((5, 6))
+    assign = generator.integers(0, 5, 800)
+    points = centers[assign] + generator.standard_normal((800, 6)) * 0.05
+    return np.clip(points, 0.0, 1.0)
+
+
+@pytest.fixture(scope="session")
+def small_db_scan(small_vectors):
+    return Database(small_vectors, access="scan")
+
+
+@pytest.fixture(scope="session")
+def small_db_xtree(small_vectors):
+    return Database(small_vectors, access="xtree")

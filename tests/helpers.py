@@ -1,0 +1,42 @@
+"""Brute-force oracles shared by the test modules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.types import QueryType
+
+
+def brute_force_answers(
+    vectors: np.ndarray, query: np.ndarray, qtype: QueryType
+) -> list[tuple[int, float]]:
+    """Reference implementation of Definition 1 for Euclidean vectors.
+
+    Returns ``(index, distance)`` pairs sorted by distance then index,
+    honouring both the range and the cardinality component of the query
+    type.  Used as the oracle for every engine/access-method combination.
+    """
+    distances = np.sqrt(((vectors - query) ** 2).sum(axis=1))
+    order = sorted(range(len(vectors)), key=lambda i: (distances[i], i))
+    answers = [
+        (i, float(distances[i])) for i in order if distances[i] <= qtype.range
+    ]
+    if not math.isinf(qtype.cardinality):
+        answers = answers[: int(qtype.cardinality)]
+    return answers
+
+
+def answer_indices_match(
+    got: list, expected: list[tuple[int, float]], tolerance: float = 1e-9
+) -> bool:
+    """Compare answers, tolerating reordering among distance ties."""
+    if len(got) != len(expected):
+        return False
+    got_dists = sorted(a.distance for a in got)
+    exp_dists = sorted(d for _, d in expected)
+    return all(
+        abs(g - e) <= tolerance * max(1.0, abs(e))
+        for g, e in zip(got_dists, exp_dists)
+    )

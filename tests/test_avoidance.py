@@ -1,0 +1,160 @@
+"""Tests for the triangle-inequality avoidance (Lemmas 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.avoidance import (
+    PairwiseDistanceCache,
+    avoid_reference,
+    avoid_vectorized,
+)
+from repro.costmodel import Counters
+from repro.metric import MetricSpace
+
+
+class TestLemmaSemantics:
+    def test_lemma1_far_object_close_queries(self):
+        # dist(O, Q1) = 5, dist(Q2, Q1) = 1, radius = 2:
+        # 5 > 1 + 2 -> avoidable (Lemma 1).
+        counters = Counters()
+        known = np.array([[5.0]])
+        avoided = avoid_vectorized(known, np.array([1.0]), 2.0, counters)
+        assert avoided[0]
+        assert counters.avoidance_tries == 1  # Lemma 1 fired first
+        assert counters.avoided_calculations == 1
+
+    def test_lemma2_close_object_far_queries(self):
+        # dist(O, Q1) = 1, dist(Q2, Q1) = 5, radius = 2:
+        # 5 > 1 + 2 -> avoidable (Lemma 2, second try).
+        counters = Counters()
+        known = np.array([[1.0]])
+        avoided = avoid_vectorized(known, np.array([5.0]), 2.0, counters)
+        assert avoided[0]
+        assert counters.avoidance_tries == 2
+
+    def test_not_avoidable_middle_distance(self):
+        counters = Counters()
+        known = np.array([[2.5]])
+        avoided = avoid_vectorized(known, np.array([2.0]), 2.0, counters)
+        assert not avoided[0]
+        assert counters.avoidance_tries == 2
+
+    def test_strictness_preserves_boundary_objects(self):
+        # dist(O, Q1) = 3, dist(Q2, Q1) = 1, radius = 2: Lemma 1 with >=
+        # would conclude dist >= radius, but an object at exactly the
+        # range boundary belongs to the answer (Def. 2 uses <=), so the
+        # strict test must NOT avoid it.
+        counters = Counters()
+        known = np.array([[3.0]])
+        avoided = avoid_vectorized(known, np.array([1.0]), 2.0, counters)
+        assert not avoided[0]
+
+    def test_infinite_radius_never_tries(self):
+        counters = Counters()
+        known = np.array([[5.0, 1.0]])
+        avoided = avoid_vectorized(known, np.array([1.0]), math.inf, counters)
+        assert not avoided.any()
+        assert counters.avoidance_tries == 0
+
+    def test_nan_rows_skipped_without_try(self):
+        counters = Counters()
+        known = np.array([[np.nan], [5.0]])
+        avoided = avoid_vectorized(known, np.array([1.0, 1.0]), 2.0, counters)
+        assert avoided[0]
+        assert counters.avoidance_tries == 1  # NaN pivot not charged
+
+    def test_stops_at_first_success(self):
+        counters = Counters()
+        known = np.array([[5.0], [5.0], [5.0]])
+        avoid_vectorized(known, np.array([1.0, 1.0, 1.0]), 2.0, counters)
+        assert counters.avoidance_tries == 1
+
+    def test_max_pivots_cap(self):
+        counters = Counters()
+        # Only the third pivot could avoid; cap at 2 -> not avoided.
+        known = np.array([[2.0], [2.0], [50.0]])
+        dqq = np.array([2.0, 2.0, 1.0])
+        avoided = avoid_vectorized(known, dqq, 2.0, counters, max_pivots=2)
+        assert not avoided[0]
+        assert counters.avoidance_tries == 4
+        counters2 = Counters()
+        avoided = avoid_vectorized(known, dqq, 2.0, counters2, max_pivots=0)
+        assert avoided[0]
+
+
+class TestAvoidanceSoundness:
+    def test_never_avoids_true_answers(self, rng):
+        """Lemma application must never discard an object within radius."""
+        space = MetricSpace("euclidean")
+        for _ in range(50):
+            points = rng.random((30, 4))
+            queries = rng.random((4, 4))
+            target = queries[-1]
+            radius = float(rng.random() * 0.6)
+            known = np.array(
+                [space.distance.many(points, q) for q in queries[:-1]]
+            )
+            dqq = np.array([space.distance.one(target, q) for q in queries[:-1]])
+            counters = Counters()
+            avoided = avoid_vectorized(known, dqq, radius, counters)
+            true = space.distance.many(points, target)
+            # Every avoided object must be strictly outside the radius.
+            assert np.all(true[avoided] > radius)
+
+    def test_reference_matches_vectorized(self, rng):
+        for _ in range(30):
+            n_known, n_objects = int(rng.integers(1, 6)), int(rng.integers(1, 20))
+            known = rng.random((n_known, n_objects)) * 4
+            # Sprinkle NaNs (avoided-earlier entries).
+            mask = rng.random((n_known, n_objects)) < 0.2
+            known[mask] = np.nan
+            dqq = rng.random(n_known) * 4
+            radius = float(rng.random() * 2)
+            counters_v = Counters()
+            avoided_v = avoid_vectorized(known, dqq, radius, counters_v)
+            counters_r = Counters()
+            avoided_r = []
+            for pos in range(n_objects):
+                pairs = [
+                    (known[j, pos], dqq[j])
+                    for j in range(n_known)
+                    if not math.isnan(known[j, pos])
+                ]
+                avoided_r.append(avoid_reference(pairs, radius, counters_r))
+            assert list(avoided_v) == avoided_r
+            assert counters_v.avoidance_tries == counters_r.avoidance_tries
+            assert (
+                counters_v.avoided_calculations == counters_r.avoided_calculations
+            )
+
+
+class TestPairwiseDistanceCache:
+    def test_pair_computed_once(self):
+        space = MetricSpace("euclidean")
+        cache = PairwiseDistanceCache(space)
+        a, b = np.array([0.0, 0.0]), np.array([1.0, 0.0])
+        assert cache.get("a", a, "b", b) == pytest.approx(1.0)
+        assert cache.get("b", b, "a", a) == pytest.approx(1.0)  # symmetric key
+        assert space.counters.query_matrix_distance_calculations == 1
+
+    def test_matrix_counts_all_pairs(self):
+        space = MetricSpace("euclidean")
+        cache = PairwiseDistanceCache(space)
+        objs = [np.array([float(i), 0.0]) for i in range(4)]
+        matrix = cache.matrix(list("abcd"), objs)
+        assert space.counters.query_matrix_distance_calculations == 6
+        assert matrix[0, 3] == pytest.approx(3.0)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_drop_forgets_pairs(self):
+        space = MetricSpace("euclidean")
+        cache = PairwiseDistanceCache(space)
+        objs = [np.array([float(i)]) for i in range(3)]
+        cache.matrix(list("abc"), objs)
+        cache.drop("a")
+        assert len(cache) == 1  # only (b, c) remains
+        cache.get("a", objs[0], "b", objs[1])
+        assert space.counters.query_matrix_distance_calculations == 4

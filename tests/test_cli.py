@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "ICDE 2000" in out
+        assert "xtree" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--objects", "1500", "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "multiple query" in out
+        assert "modelled seconds" in out
+
+    def test_demo_scan(self, capsys):
+        assert main(
+            ["demo", "--objects", "1000", "--queries", "5", "--access", "scan"]
+        ) == 0
+        assert "database" in capsys.readouterr().out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "-d", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "distance calculation" in out
+        assert "ratio" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

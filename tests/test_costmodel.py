@@ -1,0 +1,122 @@
+"""Tests for the counters and the cost model."""
+
+import math
+
+import pytest
+
+from repro.costmodel import Counters, CostModel, distance_calculation_seconds
+from repro.costmodel.model import COMPARISON_SECONDS
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        counters = Counters()
+        assert counters.page_reads == 0
+        assert counters.total_distance_calculations == 0
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_copy_is_independent(self):
+        counters = Counters(distance_calculations=5)
+        snapshot = counters.copy()
+        counters.distance_calculations += 3
+        assert snapshot.distance_calculations == 5
+        assert counters.distance_calculations == 8
+
+    def test_diff(self):
+        counters = Counters(random_page_reads=2, avoidance_tries=10)
+        before = counters.copy()
+        counters.random_page_reads += 5
+        counters.avoidance_tries += 1
+        delta = counters.diff(before)
+        assert delta.random_page_reads == 5
+        assert delta.avoidance_tries == 1
+        assert delta.sequential_page_reads == 0
+
+    def test_add_accumulates(self):
+        a = Counters(buffer_hits=1)
+        b = Counters(buffer_hits=2, queries_completed=4)
+        a.add(b)
+        assert a.buffer_hits == 3
+        assert a.queries_completed == 4
+
+    def test_reset(self):
+        counters = Counters(distance_calculations=9)
+        counters.reset()
+        assert counters.distance_calculations == 0
+
+    def test_page_reads_sums_both_kinds(self):
+        counters = Counters(sequential_page_reads=3, random_page_reads=4)
+        assert counters.page_reads == 7
+
+    def test_total_distance_calculations_includes_matrix(self):
+        counters = Counters(
+            distance_calculations=10, query_matrix_distance_calculations=5
+        )
+        assert counters.total_distance_calculations == 15
+
+
+class TestCostModel:
+    def test_paper_distance_constants(self):
+        # Sec. 6.2: 4.3 us at 20-d and 12.7 us at 64-d.
+        assert distance_calculation_seconds(20) == pytest.approx(4.3e-6)
+        assert distance_calculation_seconds(64) == pytest.approx(12.7e-6)
+
+    def test_distance_time_grows_with_dimension(self):
+        assert distance_calculation_seconds(64) > distance_calculation_seconds(20)
+
+    def test_paper_comparison_ratio(self):
+        # Sec. 6.2: a 20-d distance is 52x a comparison, a 64-d one 155x.
+        assert distance_calculation_seconds(20) / COMPARISON_SECONDS == pytest.approx(
+            52.4, rel=0.01
+        )
+        assert distance_calculation_seconds(64) / COMPARISON_SECONDS == pytest.approx(
+            154.9, rel=0.01
+        )
+
+    def test_io_cost_charges_reads_not_hits(self):
+        model = CostModel(dimension=20)
+        counters = Counters(
+            sequential_page_reads=10, random_page_reads=2, buffer_hits=100
+        )
+        expected = 10 * model.sequential_block_seconds + 2 * model.random_block_seconds
+        assert model.io_seconds(counters) == pytest.approx(expected)
+
+    def test_random_reads_cost_more_than_sequential(self):
+        model = CostModel(dimension=20)
+        assert model.random_block_seconds > model.sequential_block_seconds
+
+    def test_cpu_cost_formula(self):
+        # Sec. 5.2: matrix init + tries * t_cmp + computed * t_dist.
+        model = CostModel(dimension=20, mindist_seconds=0.0)
+        counters = Counters(
+            distance_calculations=100,
+            query_matrix_distance_calculations=45,
+            avoidance_tries=1000,
+        )
+        expected = 145 * model.distance_seconds + 1000 * model.comparison_seconds
+        assert model.cpu_seconds(counters) == pytest.approx(expected)
+
+    def test_breakdown_total(self):
+        model = CostModel(dimension=8)
+        counters = Counters(sequential_page_reads=1, distance_calculations=1)
+        breakdown = model.breakdown(counters)
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.io_seconds + breakdown.cpu_seconds
+        )
+
+    def test_per_query_average(self):
+        model = CostModel(dimension=8)
+        counters = Counters(sequential_page_reads=10)
+        breakdown = model.breakdown(counters).per_query(10)
+        assert breakdown.io_seconds == pytest.approx(model.sequential_block_seconds)
+
+    def test_per_query_rejects_nonpositive(self):
+        model = CostModel(dimension=8)
+        with pytest.raises(ValueError):
+            model.breakdown(Counters()).per_query(0)
+
+    def test_avoided_distance_cheaper_than_computed(self):
+        # The whole point of Sec. 5.2: one avoided distance (a few tries)
+        # must be cheaper than one computed distance.
+        model = CostModel(dimension=20)
+        assert 4 * model.comparison_seconds < model.distance_seconds

@@ -1,0 +1,81 @@
+"""Tests for the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import GenericDataset, VectorDataset, as_dataset
+
+
+class TestVectorDataset:
+    def test_basic_access(self):
+        dataset = VectorDataset(np.arange(12).reshape(4, 3))
+        assert len(dataset) == 4
+        assert dataset.dimension == 3
+        assert dataset.is_vector
+        assert list(dataset[1]) == [3.0, 4.0, 5.0]
+
+    def test_batch_access(self):
+        dataset = VectorDataset(np.arange(12).reshape(4, 3))
+        batch = dataset.batch(np.array([2, 0]))
+        assert batch.shape == (2, 3)
+        assert list(batch[0]) == [6.0, 7.0, 8.0]
+
+    def test_vectors_read_only(self):
+        dataset = VectorDataset(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            dataset.vectors[0, 0] = 1.0
+
+    def test_copy_decouples_from_input(self):
+        raw = np.zeros((3, 2))
+        dataset = VectorDataset(raw)
+        raw[0, 0] = 7.0
+        assert dataset.vectors[0, 0] == 0.0
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            VectorDataset(np.zeros(5))
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            VectorDataset(np.zeros((3, 2)), labels=[1, 2])
+
+    def test_iteration(self):
+        dataset = VectorDataset(np.eye(3))
+        rows = list(dataset)
+        assert len(rows) == 3
+        assert list(rows[2]) == [0.0, 0.0, 1.0]
+
+
+class TestGenericDataset:
+    def test_basic_access(self):
+        dataset = GenericDataset(["a", "bb", "ccc"])
+        assert len(dataset) == 3
+        assert not dataset.is_vector
+        assert dataset[2] == "ccc"
+
+    def test_batch(self):
+        dataset = GenericDataset(["a", "bb", "ccc"])
+        assert dataset.batch(np.array([2, 0])) == ["ccc", "a"]
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            GenericDataset(["a"], labels=[1, 2])
+
+
+class TestAsDataset:
+    def test_passthrough(self):
+        dataset = VectorDataset(np.zeros((2, 2)))
+        assert as_dataset(dataset) is dataset
+
+    def test_matrix_becomes_vector_dataset(self):
+        dataset = as_dataset(np.zeros((4, 2)))
+        assert isinstance(dataset, VectorDataset)
+
+    def test_nested_lists_become_vector_dataset(self):
+        dataset = as_dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert isinstance(dataset, VectorDataset)
+        assert dataset.dimension == 2
+
+    def test_strings_become_generic(self):
+        dataset = as_dataset(["aa", "bb"])
+        assert isinstance(dataset, GenericDataset)

@@ -1,0 +1,103 @@
+"""Tests for the Database facade."""
+
+import numpy as np
+import pytest
+
+from repro import Database, GenericDataset, knn_query
+
+
+class TestConstruction:
+    def test_accepts_raw_arrays(self, small_vectors):
+        db = Database(small_vectors)
+        assert len(db) == len(small_vectors)
+        assert db.dataset.is_vector
+
+    def test_accepts_generic_sequences(self):
+        db = Database(
+            GenericDataset(["aa", "ab", "ba"]), metric="levenshtein", access="mtree"
+        )
+        assert len(db) == 3
+        assert db.engine == "reference"
+
+    def test_unknown_access_method(self, small_vectors):
+        with pytest.raises(ValueError, match="unknown access method"):
+            Database(small_vectors, access="btree")
+
+    def test_unknown_engine(self, small_vectors):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Database(small_vectors, engine="gpu")
+
+    def test_auto_engine_vectorized_for_vectors(self, small_vectors):
+        assert Database(small_vectors).engine == "vectorized"
+
+    def test_buffer_sized_from_disk(self, small_vectors):
+        db = Database(small_vectors, buffer_fraction=0.5)
+        assert db.disk.buffer.capacity_blocks == max(
+            1, int(0.5 * db.disk.total_blocks)
+        )
+
+    def test_buffer_disabled(self, small_vectors):
+        db = Database(small_vectors, buffer_fraction=0.0)
+        assert db.disk.buffer.capacity_blocks == 0
+
+    def test_cost_model_dimension(self, small_vectors):
+        db = Database(small_vectors)
+        assert db.cost_model.dimension == small_vectors.shape[1]
+
+    def test_index_options_forwarded(self, small_vectors):
+        db = Database(
+            small_vectors, access="xtree", index_options={"leaf_capacity": 32}
+        )
+        assert db.access_method.leaf_capacity == 32
+
+
+class TestMeasure:
+    def test_measure_isolates_counters(self, small_vectors):
+        db = Database(small_vectors, access="scan")
+        db.similarity_query(small_vectors[0], knn_query(3))
+        with db.measure() as run:
+            db.similarity_query(small_vectors[1], knn_query(3))
+        assert run.counters.queries_completed == 1
+        assert run.counters.distance_calculations == len(small_vectors)
+
+    def test_measure_costs_available_after_block(self, small_vectors):
+        db = Database(small_vectors, access="scan")
+        with db.measure() as run:
+            db.similarity_query(small_vectors[0], knn_query(3))
+        assert run.io_seconds > 0
+        assert run.cpu_seconds > 0
+        assert run.total_seconds == pytest.approx(run.io_seconds + run.cpu_seconds)
+
+    def test_nested_queries_accumulate(self, small_vectors):
+        db = Database(small_vectors, access="scan")
+        with db.measure() as run:
+            for i in range(3):
+                db.similarity_query(small_vectors[i], knn_query(2))
+        assert run.counters.queries_completed == 3
+
+    def test_cold_clears_buffer(self, small_vectors):
+        db = Database(small_vectors, access="scan")
+        db.similarity_query(small_vectors[0], knn_query(3))
+        db.cold()
+        with db.measure() as run:
+            db.similarity_query(small_vectors[0], knn_query(3))
+        assert run.counters.buffer_hits == 0
+
+
+class TestSummary:
+    def test_summary_contents(self, small_vectors):
+        db = Database(small_vectors, access="xtree")
+        summary = db.summary()
+        assert summary["objects"] == len(small_vectors)
+        assert summary["metric"] == "euclidean"
+        assert summary["name"] == "xtree"
+        assert summary["disk_blocks"] > 0
+
+    def test_doctest_style_usage(self):
+        data = np.random.default_rng(0).random((300, 8))
+        db = Database(data, access="xtree")
+        with db.measure() as run:
+            answers = db.similarity_query(data[0], knn_query(5))
+        assert len(answers) == 5
+        assert answers[0].distance == pytest.approx(0.0)
+        assert run.counters.page_reads + run.counters.buffer_hits > 0

@@ -1,0 +1,135 @@
+"""Direct tests of the page-processing engines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerList
+from repro.core.engine import (
+    PendingQuery,
+    get_engine,
+    process_page_reference,
+    process_page_vectorized,
+)
+from repro.core.types import knn_query, range_query
+from repro.costmodel import Counters
+from repro.data import VectorDataset
+from repro.metric import MetricSpace
+from repro.storage.page import Page
+
+
+def make_pending(obj, qtype, slot):
+    return PendingQuery(
+        key=slot, obj=np.asarray(obj, dtype=float), qtype=qtype,
+        answers=AnswerList(qtype), slot=slot,
+    )
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(71)
+    vectors = rng.random((40, 4))
+    dataset = VectorDataset(vectors)
+    page = Page(page_id=0, indices=np.arange(40))
+    queries = rng.random((3, 4))
+    matrix = np.zeros((3, 3))
+    metric = MetricSpace("euclidean")
+    for i in range(3):
+        for j in range(3):
+            matrix[i, j] = metric.uncounted(queries[i], queries[j])
+    return dataset, page, queries, matrix
+
+
+@pytest.mark.parametrize(
+    "process", [process_page_reference, process_page_vectorized]
+)
+class TestEngines:
+    def test_range_query_answers(self, setup, process):
+        dataset, page, queries, matrix = setup
+        space = MetricSpace("euclidean")
+        pending = make_pending(queries[0], range_query(0.6), 0)
+        process(page, [pending], dataset, space, matrix, space.counters)
+        expected = {
+            i
+            for i in range(40)
+            if np.sqrt(((dataset.vectors[i] - queries[0]) ** 2).sum()) <= 0.6
+        }
+        assert {a.index for a in pending.answers.materialize()} == expected
+        assert page.page_id in pending.processed_pages
+
+    def test_every_distance_counted_without_avoidance(self, setup, process):
+        dataset, page, queries, matrix = setup
+        space = MetricSpace("euclidean")
+        batch = [
+            make_pending(queries[i], knn_query(3), i) for i in range(3)
+        ]
+        process(
+            page, batch, dataset, space, matrix, space.counters,
+            use_avoidance=False,
+        )
+        assert space.counters.distance_calculations == 3 * 40
+        assert space.counters.avoidance_tries == 0
+
+    def test_avoidance_reduces_distances(self, setup, process):
+        dataset, page, queries, matrix = setup
+        space = MetricSpace("euclidean")
+        batch = [
+            make_pending(queries[i], range_query(0.2), i) for i in range(3)
+        ]
+        process(page, batch, dataset, space, matrix, space.counters)
+        assert space.counters.distance_calculations < 3 * 40
+        assert (
+            space.counters.distance_calculations
+            + space.counters.avoided_calculations
+            == 3 * 40
+        )
+
+    def test_empty_page(self, setup, process):
+        dataset, _, queries, matrix = setup
+        space = MetricSpace("euclidean")
+        page = Page(page_id=5, indices=np.empty(0, dtype=np.intp))
+        pending = make_pending(queries[0], knn_query(2), 0)
+        process(page, [pending], dataset, space, matrix, space.counters)
+        assert len(pending.answers) == 0
+        assert page.page_id in pending.processed_pages
+
+
+class TestEngineEquivalenceDirect:
+    def test_counters_and_answers_identical(self, setup):
+        dataset, page, queries, matrix = setup
+        results = {}
+        for process in (process_page_reference, process_page_vectorized):
+            space = MetricSpace("euclidean")
+            batch = [
+                make_pending(queries[i], range_query(0.45), i) for i in range(3)
+            ]
+            process(page, batch, dataset, space, matrix, space.counters)
+            results[process.__name__] = (
+                space.counters.as_dict(),
+                [tuple(a.index for a in p.answers.materialize()) for p in batch],
+            )
+        ref = results["process_page_reference"]
+        vec = results["process_page_vectorized"]
+        assert ref == vec
+
+
+class TestPendingQuery:
+    def test_radius_uses_hint(self):
+        pending = make_pending([0.0, 0.0, 0.0, 0.0], knn_query(2), 0)
+        assert math.isinf(pending.radius)
+        pending.radius_hint = 0.7
+        assert pending.radius == 0.7
+        pending.answers.offer(1, 0.2)
+        pending.answers.offer(2, 0.3)
+        assert pending.radius == pytest.approx(0.3)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_engine("reference") is process_page_reference
+        assert get_engine("vectorized") is process_page_vectorized
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("gpu")

@@ -1,0 +1,165 @@
+"""Tests for the evaluation harness (small preset)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, FigureResult, Series
+from repro.experiments import figures as figures_module
+from repro.experiments.runner import (
+    clear_caches,
+    dataset_k,
+    get_dataset,
+    sweep,
+    workload_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.small()
+
+
+class TestRunner:
+    def test_datasets_cached(self, config):
+        a = get_dataset("astronomy", config)
+        b = get_dataset("astronomy", config)
+        assert a is b
+        assert len(a) == config.astronomy_n
+
+    def test_unknown_dataset(self, config):
+        with pytest.raises(ValueError):
+            get_dataset("weather", config)
+
+    def test_dataset_k(self, config):
+        assert dataset_k("astronomy", config) == config.astronomy_k
+        assert dataset_k("image", config) == config.image_k
+
+    def test_workload_queries_are_db_indices(self, config):
+        for name in ("astronomy", "image"):
+            queries = workload_queries(name, config)
+            n = len(get_dataset(name, config))
+            assert len(queries) == config.n_queries
+            assert all(0 <= q < n for q in queries)
+
+    def test_image_queries_are_dependent(self, config):
+        # The image workload must be neighbourhood-derived: consecutive
+        # queries are much closer together than random pairs.
+        import numpy as np
+
+        dataset = get_dataset("image", config)
+        queries = workload_queries("image", config)
+        vectors = dataset.vectors[queries]
+        consecutive = np.sqrt(((vectors[1:] - vectors[:-1]) ** 2).sum(1)).mean()
+        rng = np.random.default_rng(0)
+        random_pairs = dataset.vectors[rng.integers(0, len(dataset), (200, 2))]
+        random_mean = np.sqrt(
+            ((random_pairs[:, 0] - random_pairs[:, 1]) ** 2).sum(1)
+        ).mean()
+        assert consecutive < random_mean
+
+    def test_sweep_shapes(self, config):
+        points = sweep("astronomy", "scan", config)
+        assert set(points) == set(config.m_values)
+        m_lo, m_hi = config.m_values[0], config.m_values[-1]
+        # Batching can never increase the scan's per-query I/O cost.
+        assert points[m_hi].io_seconds < points[m_lo].io_seconds
+        # Scan I/O reduction is essentially the block size.
+        ratio = points[m_lo].io_seconds / points[m_hi].io_seconds
+        assert ratio == pytest.approx(m_hi, rel=0.15)
+
+    def test_sweep_cached(self, config):
+        assert sweep("astronomy", "scan", config) is sweep(
+            "astronomy", "scan", config
+        )
+
+    def test_clear_caches(self, config):
+        sweep("astronomy", "scan", config)
+        first = get_dataset("astronomy", config)
+        clear_caches()
+        assert get_dataset("astronomy", config) is not first
+
+
+class TestFigures:
+    @pytest.mark.parametrize(
+        "harness",
+        [
+            figures_module.run_figure7,
+            figures_module.run_figure8,
+            figures_module.run_figure9,
+        ],
+    )
+    def test_cost_figures_have_four_series(self, harness, config):
+        result = harness(config)
+        assert len(result.series) == 4
+        assert all(len(s.values) == len(config.m_values) for s in result.series)
+        assert all(all(v >= 0 for v in s.values) for s in result.series)
+        assert result.paper_notes and result.measured_notes
+
+    def test_figure10_normalised_to_one(self, config):
+        result = figures_module.run_figure10(config)
+        for series in result.series:
+            assert series.values[0] == pytest.approx(1.0)
+            assert series.values[-1] > 1.0  # batching always helps
+
+    def test_figure9_is_sum_of_7_and_8(self, config):
+        io = figures_module.run_figure7(config)
+        cpu = figures_module.run_figure8(config)
+        total = figures_module.run_figure9(config)
+        for s_io, s_cpu, s_total in zip(io.series, cpu.series, total.series):
+            for a, b, c in zip(s_io.values, s_cpu.values, s_total.values):
+                assert c == pytest.approx(a + b)
+
+    def test_figure11_and_12(self, config):
+        fig11 = figures_module.run_figure11(config)
+        fig12 = figures_module.run_figure12(config)
+        assert len(fig11.series) == 4
+        for series in fig11.series:
+            assert series.values[0] == pytest.approx(1.0, rel=0.05)
+        for series in fig12.series:
+            # Combined technique always beats sequential single queries.
+            assert all(v > 1.0 for v in series.values)
+
+    def test_k_robustness(self, config):
+        result = figures_module.run_k_robustness(config)
+        assert len(result.series) == 4
+        assert all(len(s.values) == len(config.k_values) for s in result.series)
+
+    def test_microtimings(self):
+        result = figures_module.run_sec62_microtimings(repeats=20_000)
+        measured = result.series_by_label("measured (vectorised, per element)")
+        dist20, dist64, comparison = measured.values
+        assert dist64 > dist20 > comparison
+        # A distance calculation is at least 5x a comparison even in
+        # numpy-amortised Python.
+        assert dist20 / comparison > 5
+
+
+class TestReport:
+    def _figure(self):
+        return FigureResult(
+            figure_id="Figure X",
+            title="Test figure",
+            x_label="m",
+            x_values=[1, 10],
+            y_label="seconds",
+            series=[Series(label="a", values=[1.0, 0.5])],
+            paper_notes=["note"],
+            measured_notes=["got"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self._figure().render()
+        assert "Figure X" in text
+        assert "a" in text
+        assert "paper:" in text and "measured:" in text
+
+    def test_markdown_table(self):
+        md = self._figure().to_markdown()
+        assert md.startswith("### Figure X")
+        assert "| m | 1 | 10 |" in md
+        assert "**Paper reports:**" in md
+
+    def test_series_lookup(self):
+        figure = self._figure()
+        assert figure.series_by_label("a").values == [1.0, 0.5]
+        with pytest.raises(KeyError):
+            figure.series_by_label("b")

@@ -1,0 +1,270 @@
+"""Tests for the mining package (schemes and all paper instances)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, knn_query, range_query
+from repro.mining import (
+    ExplorationCallbacks,
+    dbscan,
+    detect_trends,
+    explore_neighborhoods,
+    explore_neighborhoods_multiple,
+    knn_classify,
+    proximity_analysis,
+    simulate_concurrent_exploration,
+    spatial_association_rules,
+)
+from repro.mining.assoc import co_location_summary
+from repro.mining.dbscan import NOISE
+from repro.workloads import make_gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    return make_gaussian_mixture(
+        n=1200, dimension=6, n_clusters=5, cluster_std=0.02, seed=9
+    )
+
+
+@pytest.fixture(scope="module")
+def db(mixture):
+    return Database(mixture, access="xtree", block_size=4096)
+
+
+class TestExploreSchemes:
+    def _trace(self, database, scheme, **kwargs):
+        visits = []
+        callbacks = ExplorationCallbacks(
+            proc_2=lambda i, answers: visits.append(
+                (i, tuple(sorted(a.index for a in answers)))
+            )
+        )
+        stats = scheme(
+            database, [0, 5], range_query(0.05), callbacks, **kwargs
+        )
+        return visits, stats
+
+    def test_single_and_multiple_produce_identical_traces(self, mixture):
+        visits_single, stats_single = self._trace(
+            Database(mixture, access="scan"), explore_neighborhoods,
+            max_iterations=40,
+        )
+        visits_multi, stats_multi = self._trace(
+            Database(mixture, access="scan"),
+            explore_neighborhoods_multiple,
+            batch_size=8,
+            max_iterations=40,
+        )
+        assert visits_single == visits_multi
+        assert stats_single.objects_visited == stats_multi.objects_visited
+
+    def test_multiple_issues_fewer_page_reads(self, mixture):
+        db_single = Database(mixture, access="scan", buffer_fraction=0.0)
+        with db_single.measure() as single:
+            explore_neighborhoods(
+                db_single, [0], range_query(0.05), max_iterations=20
+            )
+        db_multi = Database(mixture, access="scan", buffer_fraction=0.0)
+        with db_multi.measure() as multi:
+            explore_neighborhoods_multiple(
+                db_multi, [0], range_query(0.05), batch_size=10, max_iterations=20
+            )
+        assert multi.counters.page_reads < single.counters.page_reads
+
+    def test_termination_on_revisits(self, mixture):
+        # The filter must not enqueue anything twice; with a huge radius
+        # the loop still terminates.
+        database = Database(mixture, access="scan")
+        stats = explore_neighborhoods(database, [0], range_query(5.0))
+        assert stats.queries_issued >= 1
+
+    def test_condition_check_stops_early(self, mixture):
+        database = Database(mixture, access="scan")
+        stats = explore_neighborhoods(
+            database,
+            [0],
+            range_query(0.05),
+            ExplorationCallbacks(condition_check=lambda control: False),
+        )
+        assert stats.queries_issued == 0
+
+    def test_bad_batch_size(self, mixture):
+        with pytest.raises(ValueError):
+            explore_neighborhoods_multiple(
+                Database(mixture, access="scan"), [0], range_query(0.1), batch_size=0
+            )
+
+
+class TestDBSCAN:
+    def test_recovers_generated_clusters(self, db, mixture):
+        result = dbscan(db, eps=0.08, min_pts=5)
+        assert result.n_clusters == 5
+        # Clusters must align with the generator's labels (up to renaming).
+        for cluster_id in range(result.n_clusters):
+            members = result.cluster_members(cluster_id)
+            true = mixture.labels[members]
+            assert len(set(true.tolist())) == 1
+
+    def test_batched_equals_single(self, mixture):
+        result_a = dbscan(Database(mixture, access="scan"), 0.08, 5, batch_size=1)
+        result_b = dbscan(Database(mixture, access="scan"), 0.08, 5, batch_size=20)
+        assert np.array_equal(result_a.labels, result_b.labels)
+        assert result_a.queries_issued == result_b.queries_issued
+
+    def test_noise_detected(self, mixture):
+        # A tiny eps turns most objects into noise.
+        result = dbscan(Database(mixture, access="scan"), eps=1e-6, min_pts=3)
+        assert np.all(result.labels == NOISE)
+        assert result.n_clusters == 0
+
+    def test_all_objects_labelled(self, db):
+        result = dbscan(db, eps=0.08, min_pts=5)
+        assert np.all(result.labels >= NOISE)
+
+    def test_parameter_validation(self, db):
+        with pytest.raises(ValueError):
+            dbscan(db, eps=0.0, min_pts=3)
+        with pytest.raises(ValueError):
+            dbscan(db, eps=0.1, min_pts=0)
+        with pytest.raises(ValueError):
+            dbscan(db, eps=0.1, min_pts=3, batch_size=0)
+
+
+class TestClassification:
+    def test_high_accuracy_on_clustered_data(self, db, mixture):
+        indices = list(range(0, 600, 7))
+        predictions = knn_classify(db, indices, k=5, exclude_self=True)
+        accuracy = np.mean(
+            [p == mixture.labels[i] for i, p in zip(indices, predictions)]
+        )
+        assert accuracy > 0.95
+
+    def test_include_self_biases_towards_own_label(self, db, mixture):
+        indices = [3, 14, 100]
+        predictions = knn_classify(db, indices, k=1, exclude_self=False)
+        assert predictions == [mixture.labels[i] for i in indices]
+
+    def test_block_size_does_not_change_predictions(self, db):
+        indices = list(range(30))
+        a = knn_classify(db, indices, k=5, block_size=30)
+        b = knn_classify(db, indices, k=5, block_size=1)
+        assert a == b
+
+    def test_custom_labels(self, db, mixture):
+        labels = np.zeros(len(mixture), dtype=int)
+        predictions = knn_classify(db, [0, 1], k=3, labels=labels)
+        assert predictions == [0, 0]
+
+    def test_missing_labels_rejected(self, small_vectors):
+        database = Database(small_vectors, access="scan")
+        with pytest.raises(ValueError):
+            knn_classify(database, [0], k=3)
+
+
+class TestExplorationSimulator:
+    def test_round_structure(self, db):
+        trace = simulate_concurrent_exploration(db, n_users=4, k=5, n_rounds=3)
+        assert len(trace.rounds) == 4
+        assert len(trace.rounds[0]) == 4  # one start per user
+        assert all(len(path) == 4 for path in trace.user_paths)
+
+    def test_users_move_to_own_answers(self, db):
+        trace = simulate_concurrent_exploration(db, n_users=2, k=3, n_rounds=2, seed=5)
+        # Every consecutive pair in a path must be k-NN related.
+        for path in trace.user_paths:
+            for a, b in zip(path, path[1:]):
+                answers = db.similarity_query(db.dataset[a], knn_query(3))
+                assert b in {x.index for x in answers}
+
+    def test_queries_counted(self, db):
+        trace = simulate_concurrent_exploration(db, n_users=2, k=3, n_rounds=1)
+        assert trace.queries_issued == 2 + len(trace.rounds[1])
+
+    def test_parameter_validation(self, db):
+        with pytest.raises(ValueError):
+            simulate_concurrent_exploration(db, n_users=0, k=3, n_rounds=1)
+
+
+class TestAssociationRules:
+    def test_self_rules_excluded(self, db):
+        rules = spatial_association_rules(
+            db, reference_type=0, eps=0.08, min_support=0.0, min_confidence=0.0
+        )
+        assert all(rule.other_type != 0 for rule in rules)
+
+    def test_thresholds_filter(self, db):
+        all_rules = spatial_association_rules(
+            db, reference_type=0, eps=0.5, min_support=0.0, min_confidence=0.0
+        )
+        strict = spatial_association_rules(
+            db, reference_type=0, eps=0.5, min_support=0.0, min_confidence=0.9
+        )
+        assert len(strict) <= len(all_rules)
+        assert all(rule.confidence >= 0.9 for rule in strict)
+
+    def test_wide_radius_relates_everything(self, db, mixture):
+        rules = spatial_association_rules(
+            db, reference_type=0, eps=10.0, min_support=0.0, min_confidence=0.99
+        )
+        others = set(np.unique(mixture.labels)) - {0}
+        assert {rule.other_type for rule in rules} == others
+
+    def test_co_location_summary_symmetric_support(self, db):
+        counts = co_location_summary(db, eps=10.0)
+        # With an all-covering radius every ordered type pair appears.
+        types = set(np.unique(db.dataset.labels))
+        assert len(counts) == len(types) * (len(types) - 1)
+
+    def test_missing_reference_type(self, db):
+        assert spatial_association_rules(db, reference_type=99, eps=0.1) == []
+
+
+class TestTrendDetection:
+    def test_detects_linear_trend(self, mixture):
+        database = Database(mixture, access="scan")
+        # Attribute = projection on dim 0: moving away changes it linearly
+        # in expectation along that axis.
+        attribute = mixture.vectors[:, 0] * 10.0
+        result = detect_trends(
+            database, start=0, attribute=attribute, n_paths=6, path_length=5
+        )
+        assert len(result.paths) == 6
+        assert all(len(p.objects) == len(p.distances) for p in result.paths)
+
+    def test_constant_attribute_zero_slope(self, mixture):
+        database = Database(mixture, access="scan")
+        attribute = np.ones(len(mixture))
+        result = detect_trends(database, start=0, attribute=attribute, n_paths=3)
+        assert result.mean_slope == pytest.approx(0.0, abs=1e-12)
+
+    def test_attribute_length_checked(self, mixture):
+        database = Database(mixture, access="scan")
+        with pytest.raises(ValueError):
+            detect_trends(database, start=0, attribute=np.ones(3))
+
+
+class TestProximityAnalysis:
+    def test_closest_excludes_cluster(self, db, mixture):
+        cluster = np.flatnonzero(mixture.labels == 0)[:15]
+        report = proximity_analysis(db, cluster, top_k=8)
+        assert len(report.closest) == 8
+        assert not set(i for i, _ in report.closest) & set(cluster.tolist())
+
+    def test_closest_sorted_by_distance(self, db, mixture):
+        cluster = np.flatnonzero(mixture.labels == 1)[:10]
+        report = proximity_analysis(db, cluster, top_k=6)
+        distances = [d for _, d in report.closest]
+        assert distances == sorted(distances)
+
+    def test_common_features_on_tight_cluster(self, db, mixture):
+        cluster = np.flatnonzero(mixture.labels == 2)[:10]
+        report = proximity_analysis(db, cluster, top_k=5, min_fraction=0.6)
+        # The closest outsiders are other members of the same Gaussian,
+        # so they share most feature buckets.
+        assert len(report.common_features) >= 1
+        assert all(f.fraction >= 0.6 for f in report.common_features)
+
+    def test_empty_cluster_rejected(self, db):
+        with pytest.raises(ValueError):
+            proximity_analysis(db, [])

@@ -1,0 +1,145 @@
+"""Tests for the M-tree access method."""
+
+import numpy as np
+import pytest
+
+from repro import Database, GenericDataset, get_distance, knn_query, range_query
+
+from tests.helpers import brute_force_answers
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(31)
+    centers = rng.random((4, 4))
+    return np.clip(
+        centers[rng.integers(0, 4, 400)] + rng.standard_normal((400, 4)) * 0.05,
+        0,
+        1,
+    )
+
+
+@pytest.fixture(scope="module")
+def vector_db(vectors):
+    return Database(vectors, access="mtree", block_size=2048)
+
+
+@pytest.fixture(scope="module")
+def words():
+    rng = np.random.default_rng(32)
+    return [
+        "".join(rng.choice(list("abcdef"), size=rng.integers(3, 10)))
+        for _ in range(250)
+    ]
+
+
+@pytest.fixture(scope="module")
+def word_db(words):
+    return Database(
+        GenericDataset(words), metric="levenshtein", access="mtree", block_size=2048
+    )
+
+
+class TestStructure:
+    def test_all_objects_stored_exactly_once(self, vector_db):
+        stored = sorted(
+            int(i)
+            for page in vector_db.access_method.data_pages()
+            for i in page.indices
+        )
+        assert stored == list(range(len(vector_db.dataset)))
+
+    def test_covering_radii_valid(self, vector_db):
+        assert vector_db.access_method.covering_radii_valid()
+
+    def test_covering_radii_valid_strings(self, word_db):
+        assert word_db.access_method.covering_radii_valid()
+
+    def test_height_positive(self, vector_db):
+        assert vector_db.access_method.height() >= 2
+
+    def test_leaf_capacity_respected(self, vector_db):
+        tree = vector_db.access_method
+        for page in tree.data_pages():
+            assert page.n_objects <= tree.leaf_capacity
+
+    def test_summary(self, vector_db):
+        summary = vector_db.access_method.summary()
+        assert summary["name"] == "mtree"
+        assert summary["pages"] >= 2
+
+
+class TestVectorQueries:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_knn_matches_brute_force(self, vector_db, vectors, k):
+        for qi in (0, 42, 200):
+            answers = vector_db.similarity_query(vectors[qi], knn_query(k))
+            expected = brute_force_answers(vectors, vectors[qi], knn_query(k))
+            assert sorted(a.distance for a in answers) == pytest.approx(
+                [d for _, d in expected]
+            )
+
+    @pytest.mark.parametrize("eps", [0.05, 0.2])
+    def test_range_matches_brute_force(self, vector_db, vectors, eps):
+        for qi in (7, 300):
+            answers = vector_db.similarity_query(vectors[qi], range_query(eps))
+            expected = brute_force_answers(vectors, vectors[qi], range_query(eps))
+            assert {a.index for a in answers} == {i for i, _ in expected}
+
+    def test_knn_prunes_pages(self, vector_db, vectors):
+        with vector_db.measure() as run:
+            vector_db.similarity_query(vectors[0], knn_query(2))
+        n_data_pages = len(vector_db.access_method.data_pages())
+        touched = run.counters.page_reads + run.counters.buffer_hits
+        assert touched < n_data_pages + 5  # directory included
+
+    def test_query_distances_are_counted(self, vector_db, vectors):
+        with vector_db.measure() as run:
+            vector_db.similarity_query(vectors[0], knn_query(2))
+        # M-tree query-time routing distances must be charged.
+        assert run.counters.distance_calculations > 0
+
+
+class TestStringQueries:
+    def test_knn_matches_brute_force(self, word_db, words):
+        lev = get_distance("levenshtein")
+        for query in ("abcdef", words[10]):
+            answers = word_db.similarity_query(query, knn_query(5))
+            expected = sorted(lev.one(w, query) for w in words)[:5]
+            assert sorted(a.distance for a in answers) == expected
+
+    def test_range_matches_brute_force(self, word_db, words):
+        lev = get_distance("levenshtein")
+        query = "faced"
+        answers = word_db.similarity_query(query, range_query(2.0))
+        expected = {i for i, w in enumerate(words) if lev.one(w, query) <= 2.0}
+        assert {a.index for a in answers} == expected
+
+    def test_multiple_query_on_strings(self, word_db, words):
+        lev = get_distance("levenshtein")
+        queries = words[:8]
+        results = word_db.multiple_similarity_query(queries, knn_query(3))
+        for query, answers in zip(queries, results):
+            expected = sorted(lev.one(w, query) for w in words)[:3]
+            assert sorted(a.distance for a in answers) == expected
+
+
+class TestMultiQueryBounds:
+    def test_routing_based_lower_bounds_valid(self, vector_db, vectors):
+        # The stream's triangle-inequality page bound for non-driver
+        # queries must never exceed the true minimum distance.
+        tree = vector_db.access_method
+        driver = vectors[0]
+        others = vectors[1:6]
+        stream = tree.page_stream(driver)
+        euclid = get_distance("euclidean")
+        driver_dists = np.array([euclid.one(driver, o) for o in others])
+        item = stream.next_page(float("inf"))
+        while item is not None:
+            _, page = item
+            bounds = stream.lower_bounds_for_others(page, others, 0.0, driver_dists)
+            members = vector_db.dataset.batch(page.indices)
+            for bound, other in zip(bounds, others):
+                true_min = min(euclid.one(member, other) for member in members)
+                assert bound <= true_min + 1e-9
+            item = stream.next_page(float("inf"))

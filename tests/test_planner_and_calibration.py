@@ -1,0 +1,154 @@
+"""Tests for the query planner, platform calibration and matrix modes."""
+
+import numpy as np
+import pytest
+
+from repro import Database, knn_query
+from repro.core.multi_query import MultiQueryProcessor, _SlotMatrix
+from repro.core.planner import CostFit, QueryPlanner
+from repro.costmodel import CostModel, calibrated_cost_model, measure_platform
+from repro.metric import MetricSpace
+from repro.workloads import make_gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return make_gaussian_mixture(
+        n=3000, dimension=10, n_clusters=15, cluster_std=0.02, seed=4
+    )
+
+
+class TestCostFit:
+    def test_per_query_curve(self):
+        fit = CostFit(access="scan", shared_seconds=1.0, marginal_seconds=0.1)
+        assert fit.per_query(1) == pytest.approx(1.1)
+        assert fit.per_query(10) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            fit.per_query(0)
+
+
+class TestQueryPlanner:
+    def test_prefers_index_for_single_queries(self, clustered):
+        planner = QueryPlanner(clustered, probe_queries=8, seed=1)
+        plan = planner.plan(n_queries=1, qtype=knn_query(5))
+        assert plan.access == "xtree"
+        assert plan.block_size == 1
+
+    def test_prefers_scan_for_large_blocks(self, clustered):
+        planner = QueryPlanner(clustered, probe_queries=8, seed=1)
+        plan = planner.plan(n_queries=500, qtype=knn_query(5))
+        assert plan.access == "scan"
+        assert plan.block_size == 500
+
+    def test_block_size_clipped_to_memory_bound(self, clustered):
+        planner = QueryPlanner(clustered, probe_queries=4)
+        plan = planner.plan(n_queries=500, qtype=knn_query(5), max_block_size=64)
+        assert plan.block_size == 64
+
+    def test_describe_mentions_all_candidates(self, clustered):
+        planner = QueryPlanner(clustered, probe_queries=4)
+        plan = planner.plan(n_queries=10, qtype=knn_query(3))
+        text = plan.describe()
+        assert "scan" in text and "xtree" in text
+
+    def test_database_for_returns_built_database(self, clustered):
+        planner = QueryPlanner(clustered, probe_queries=4)
+        plan = planner.plan(n_queries=10, qtype=knn_query(3))
+        database = planner.database_for(plan)
+        assert database.access_method.name == plan.access
+
+    def test_validation(self, clustered):
+        with pytest.raises(ValueError):
+            QueryPlanner(clustered, probe_queries=1)
+        with pytest.raises(ValueError):
+            QueryPlanner(clustered, candidates=())
+        planner = QueryPlanner(clustered, probe_queries=4)
+        with pytest.raises(ValueError):
+            planner.plan(n_queries=0, qtype=knn_query(3))
+
+
+class TestCalibration:
+    def test_measure_platform_sane(self):
+        timings = measure_platform(16, batch=200, repeats=20)
+        assert timings.distance_seconds > 0
+        assert timings.comparison_seconds > 0
+        assert timings.ratio > 1  # a distance costs more than a comparison
+
+    def test_higher_dimension_costs_more(self):
+        low = measure_platform(4, batch=500, repeats=30)
+        high = measure_platform(256, batch=500, repeats=30)
+        assert high.distance_seconds > low.distance_seconds
+
+    def test_calibrated_model_uses_measured_constants(self):
+        model = calibrated_cost_model(16, 1e-3, 5e-3, batch=200, repeats=10)
+        assert model.distance_seconds == model.distance_seconds_override
+        assert model.sequential_block_seconds == 1e-3
+
+    def test_default_model_unaffected(self):
+        assert CostModel(20).distance_seconds == pytest.approx(4.3e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_platform(0)
+
+
+class TestMatrixModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _SlotMatrix(MetricSpace("euclidean"), mode="cached")
+
+    def test_eager_charges_on_admit(self):
+        space = MetricSpace("euclidean")
+        slots = _SlotMatrix(space, mode="eager")
+        for i in range(5):
+            slots.add(np.array([float(i), 0.0]))
+        assert space.counters.query_matrix_distance_calculations == 10
+
+    def test_lazy_charges_on_first_use_only(self):
+        space = MetricSpace("euclidean")
+        slots = _SlotMatrix(space, mode="lazy")
+        a = slots.add(np.array([0.0, 0.0]))
+        b = slots.add(np.array([1.0, 0.0]))
+        slots.add(np.array([2.0, 0.0]))
+        assert space.counters.query_matrix_distance_calculations == 0
+        values = slots.pairs(a, [b])
+        assert values[0] == pytest.approx(1.0)
+        assert space.counters.query_matrix_distance_calculations == 1
+        slots.pairs(a, [b])  # cached now
+        assert space.counters.query_matrix_distance_calculations == 1
+
+    def test_lazy_slot_reuse_invalidates_pairs(self):
+        space = MetricSpace("euclidean")
+        slots = _SlotMatrix(space, mode="lazy")
+        a = slots.add(np.array([0.0, 0.0]))
+        b = slots.add(np.array([3.0, 0.0]))
+        slots.pairs(a, [b])
+        slots.remove(b)
+        c = slots.add(np.array([7.0, 0.0]))
+        assert c == b  # slot recycled
+        assert slots.pairs(a, [c])[0] == pytest.approx(7.0)
+
+    @pytest.mark.parametrize("access", ["scan", "xtree"])
+    def test_lazy_mode_answers_identical(self, clustered, access):
+        database = Database(clustered, access=access, block_size=4096)
+        queries = [clustered[i] for i in range(0, 300, 10)]
+        results = {}
+        for mode in ("eager", "lazy"):
+            database.cold()
+            processor = MultiQueryProcessor(database, matrix_mode=mode)
+            results[mode] = processor.query_all(queries, knn_query(5))
+        for a, b in zip(results["eager"], results["lazy"]):
+            assert [x.index for x in a] == [x.index for x in b]
+
+    def test_lazy_mode_never_computes_more_pairs(self, clustered):
+        database = Database(clustered, access="scan", block_size=4096)
+        queries = [clustered[i] for i in range(40)]
+        counts = {}
+        for mode in ("eager", "lazy"):
+            database.cold()
+            with database.measure() as handle:
+                processor = MultiQueryProcessor(database, matrix_mode=mode)
+                processor.query_all(queries, knn_query(5))
+            counts[mode] = handle.counters.query_matrix_distance_calculations
+        assert counts["lazy"] <= counts["eager"]
+        assert counts["eager"] == len(queries) * (len(queries) - 1) // 2

@@ -1,0 +1,90 @@
+"""Tests for the incremental neighbour ranking ([13])."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import Database, knn_query
+from repro.core.ranking import neighbor_ranking, neighbors_within_factor
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(81)
+    centers = rng.random((5, 5))
+    return np.clip(
+        centers[rng.integers(0, 5, 500)] + rng.standard_normal((500, 5)) * 0.04,
+        0,
+        1,
+    )
+
+
+@pytest.mark.parametrize("access", ["scan", "xtree", "mtree", "vafile"])
+class TestRankingOrder:
+    def test_full_ranking_is_sorted_and_complete(self, vectors, access):
+        db = Database(vectors, access=access, block_size=2048)
+        ranked = list(neighbor_ranking(db, vectors[0]))
+        assert len(ranked) == len(vectors)
+        distances = [a.distance for a in ranked]
+        assert distances == sorted(distances)
+        true = np.sort(np.sqrt(((vectors - vectors[0]) ** 2).sum(axis=1)))
+        assert np.allclose(distances, true)
+
+    def test_prefix_matches_knn(self, vectors, access):
+        db = Database(vectors, access=access, block_size=2048)
+        q = vectors[123]
+        prefix = list(itertools.islice(neighbor_ranking(db, q), 10))
+        knn = db.similarity_query(q, knn_query(10))
+        assert sorted(a.distance for a in prefix) == pytest.approx(
+            sorted(a.distance for a in knn)
+        )
+
+
+class TestRankingLaziness:
+    def test_short_prefix_reads_few_pages(self, vectors):
+        db = Database(vectors, access="xtree", block_size=2048)
+        db.cold()
+        with db.measure() as run:
+            list(itertools.islice(neighbor_ranking(db, vectors[0]), 3))
+        n_pages = len(db.access_method.data_pages())
+        touched = run.counters.page_reads + run.counters.buffer_hits
+        assert touched < n_pages
+
+    def test_generator_reads_nothing_until_consumed(self, vectors):
+        db = Database(vectors, access="xtree", block_size=2048)
+        db.cold()
+        with db.measure() as run:
+            neighbor_ranking(db, vectors[0])  # not consumed
+        assert run.counters.page_reads == 0
+
+
+class TestWithinFactor:
+    def test_includes_all_within_factor(self, vectors):
+        db = Database(vectors, access="xtree", block_size=2048)
+        q = np.full(vectors.shape[1], 0.5)
+        results = neighbors_within_factor(db, q, factor=1.5)
+        dists = np.sqrt(((vectors - q) ** 2).sum(axis=1))
+        cutoff = 1.5 * dists.min()
+        expected = set(np.flatnonzero(dists <= cutoff).tolist())
+        assert {a.index for a in results} == expected
+
+    def test_max_results_bounds_output(self, vectors):
+        db = Database(vectors, access="scan", block_size=2048)
+        # A non-member query: the nearest distance is positive, so a huge
+        # factor admits everything and only max_results limits the output.
+        q = np.full(vectors.shape[1], 0.5)
+        results = neighbors_within_factor(db, q, factor=1e6, max_results=7)
+        assert len(results) == 7
+
+    def test_member_query_zero_distance_cutoff(self, vectors):
+        # For a database member the nearest distance is 0, so only
+        # distance-0 objects qualify regardless of the factor.
+        db = Database(vectors, access="scan", block_size=2048)
+        results = neighbors_within_factor(db, vectors[0], factor=100.0)
+        assert all(a.distance == 0.0 for a in results)
+
+    def test_factor_validation(self, vectors):
+        db = Database(vectors, access="scan", block_size=2048)
+        with pytest.raises(ValueError):
+            neighbors_within_factor(db, vectors[0], factor=0.5)

@@ -1,0 +1,51 @@
+"""Tests for the report generator and the mining-speedup harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_mining_speedup
+from repro.experiments.run_all import run_all
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    # Even smaller than small(): keeps the full run_all under ~a minute.
+    return dataclasses.replace(
+        ExperimentConfig.small(),
+        astronomy_n=1500,
+        image_n=800,
+        n_queries=10,
+        m_values=(1, 5),
+        server_counts=(1, 2),
+        parallel_base_m=5,
+        k_values=(1, 5),
+    )
+
+
+class TestRunAll:
+    def test_writes_markdown_report(self, tiny_config, tmp_path, capsys):
+        out = tmp_path / "EXPERIMENTS.md"
+        assert run_all(tiny_config, str(out)) == 0
+        text = out.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        for figure in ("Figure 7", "Figure 8", "Figure 11", "Figure 12"):
+            assert f"### {figure}" in text
+        assert "Sec. 6.2" in text
+        assert "Sec. 3.3" in text
+        # Tables rendered to stdout too.
+        assert "Average I/O cost" in capsys.readouterr().out
+
+    def test_no_output_file_is_fine(self, tiny_config, capsys):
+        assert run_all(tiny_config, None) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+
+class TestMiningSpeedup:
+    def test_speedups_with_identical_outputs(self, tiny_config):
+        result = run_mining_speedup(tiny_config)
+        assert len(result.series) == 3
+        for series in result.series:
+            single, multiple, speedup = series.values
+            assert multiple <= single
+            assert speedup == pytest.approx(single / multiple)

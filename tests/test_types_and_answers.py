@@ -1,0 +1,146 @@
+"""Tests for query types (Defs. 1-3) and answer lists."""
+
+import math
+
+import pytest
+
+from repro.core.answers import Answer, AnswerList
+from repro.core.types import (
+    KIND_BOUNDED_KNN,
+    KIND_KNN,
+    KIND_RANGE,
+    QueryType,
+    bounded_knn_query,
+    knn_query,
+    range_query,
+)
+
+
+class TestQueryType:
+    def test_range_query_components(self):
+        qtype = range_query(0.5)
+        assert qtype.range == 0.5
+        assert math.isinf(qtype.cardinality)
+        assert qtype.kind == KIND_RANGE
+        assert not qtype.adapts_radius
+
+    def test_knn_query_components(self):
+        qtype = knn_query(10)
+        assert math.isinf(qtype.range)
+        assert qtype.k == 10
+        assert qtype.kind == KIND_KNN
+        assert qtype.adapts_radius
+
+    def test_bounded_knn_components(self):
+        qtype = bounded_knn_query(5, 0.3)
+        assert qtype.range == 0.3
+        assert qtype.k == 5
+        assert qtype.kind == KIND_BOUNDED_KNN
+        assert qtype.adapts_radius
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            QueryType(range=1.0, kind="nearest")
+
+    def test_negative_range(self):
+        with pytest.raises(ValueError):
+            range_query(-0.1)
+
+    def test_zero_range_allowed(self):
+        assert range_query(0.0).range == 0.0
+
+    def test_non_integer_cardinality(self):
+        with pytest.raises(ValueError):
+            QueryType(cardinality=2.5, kind=KIND_KNN)
+
+    def test_range_query_needs_finite_range(self):
+        with pytest.raises(ValueError):
+            QueryType(kind=KIND_RANGE)
+
+    def test_knn_needs_finite_cardinality(self):
+        with pytest.raises(ValueError):
+            QueryType(kind=KIND_KNN)
+
+    def test_k_property_rejects_unbounded(self):
+        with pytest.raises(ValueError):
+            _ = range_query(1.0).k
+
+    def test_hashable_and_frozen(self):
+        assert hash(knn_query(3)) == hash(knn_query(3))
+        with pytest.raises(AttributeError):
+            knn_query(3).cardinality = 4
+
+
+class TestAnswerListRange:
+    def test_accepts_within_range(self):
+        answers = AnswerList(range_query(0.5))
+        assert answers.offer(1, 0.3)
+        assert answers.offer(2, 0.5)  # boundary inclusive (Def. 2)
+        assert not answers.offer(3, 0.500001)
+        assert len(answers) == 2
+
+    def test_radius_constant(self):
+        answers = AnswerList(range_query(0.5))
+        answers.offer(1, 0.1)
+        assert answers.radius == 0.5
+
+    def test_materialize_sorted(self):
+        answers = AnswerList(range_query(1.0))
+        answers.offer(3, 0.9)
+        answers.offer(1, 0.2)
+        answers.offer(2, 0.2)
+        result = answers.materialize()
+        assert result == [Answer(1, 0.2), Answer(2, 0.2), Answer(3, 0.9)]
+
+
+class TestAnswerListKnn:
+    def test_radius_infinite_until_saturated(self):
+        answers = AnswerList(knn_query(3))
+        answers.offer(1, 0.5)
+        answers.offer(2, 0.7)
+        assert math.isinf(answers.radius)
+        answers.offer(3, 0.9)
+        assert answers.radius == 0.9
+
+    def test_radius_shrinks(self):
+        answers = AnswerList(knn_query(2))
+        for i, d in enumerate([0.9, 0.8, 0.3, 0.1]):
+            answers.offer(i, d)
+        assert answers.radius == pytest.approx(0.3)
+        assert [a.index for a in answers.materialize()] == [3, 2]
+
+    def test_equal_distance_does_not_displace(self):
+        answers = AnswerList(knn_query(1))
+        answers.offer(1, 0.5)
+        assert not answers.offer(2, 0.5)
+        assert answers.materialize() == [Answer(1, 0.5)]
+
+    def test_saturation_flag(self):
+        answers = AnswerList(knn_query(2))
+        answers.offer(1, 0.1)
+        assert not answers.is_saturated
+        answers.offer(2, 0.2)
+        assert answers.is_saturated
+
+    def test_offer_many_order(self):
+        answers = AnswerList(knn_query(2))
+        answers.offer_many([5, 6, 7], [0.3, 0.1, 0.2])
+        assert [a.index for a in answers.materialize()] == [6, 7]
+
+
+class TestAnswerListBoundedKnn:
+    def test_both_conditions_enforced(self):
+        answers = AnswerList(bounded_knn_query(2, 0.4))
+        answers.offer(1, 0.5)  # outside range
+        answers.offer(2, 0.3)
+        answers.offer(3, 0.2)
+        answers.offer(4, 0.1)
+        result = answers.materialize()
+        assert [a.index for a in result] == [4, 3]
+
+    def test_radius_is_min_of_range_and_kth(self):
+        answers = AnswerList(bounded_knn_query(2, 0.4))
+        assert answers.radius == 0.4
+        answers.offer(1, 0.1)
+        answers.offer(2, 0.2)
+        assert answers.radius == pytest.approx(0.2)

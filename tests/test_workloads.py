@@ -1,0 +1,136 @@
+"""Tests for the dataset and query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import check_metric_axioms
+from repro.workloads import (
+    make_astronomy,
+    make_gaussian_mixture,
+    make_image_histograms,
+    make_uniform,
+    make_web_sessions,
+    sample_database_queries,
+)
+
+
+class TestAstronomy:
+    def test_shape_and_bounds(self):
+        dataset = make_astronomy(n=500)
+        assert dataset.vectors.shape == (500, 20)
+        assert np.all(dataset.vectors >= 0) and np.all(dataset.vectors <= 1)
+
+    def test_labels_are_classes(self):
+        dataset = make_astronomy(n=500, n_classes=7)
+        assert set(np.unique(dataset.labels)) <= set(range(7))
+
+    def test_deterministic(self):
+        a = make_astronomy(n=200, seed=5)
+        b = make_astronomy(n=200, seed=5)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_seed_changes_data(self):
+        a = make_astronomy(n=200, seed=5)
+        b = make_astronomy(n=200, seed=6)
+        assert not np.array_equal(a.vectors, b.vectors)
+
+    def test_clustered_structure(self):
+        # Points must be much closer to same-cluster points than to the
+        # dataset at large (low intrinsic dimension / clustering).
+        dataset = make_astronomy(n=2000, seed=1)
+        vectors = dataset.vectors
+        sample = vectors[:200]
+        d_all = np.sqrt(((sample[:, None] - sample[None, :]) ** 2).sum(-1))
+        near = np.partition(d_all + np.eye(200) * 9, 1, axis=1)[:, 1]
+        assert near.mean() < np.median(d_all) / 2
+
+
+class TestImageHistograms:
+    def test_valid_histograms(self):
+        dataset = make_image_histograms(n=300)
+        assert dataset.vectors.shape == (300, 64)
+        assert np.all(dataset.vectors >= 0)
+        assert np.allclose(dataset.vectors.sum(axis=1), 1.0)
+
+    def test_highly_clustered(self):
+        dataset = make_image_histograms(n=1000, seed=2)
+        labels = dataset.labels
+        vectors = dataset.vectors
+        # Mean intra-cluster distance well below mean inter-cluster distance.
+        rng = np.random.default_rng(0)
+        intra, inter = [], []
+        for _ in range(400):
+            i, j = rng.integers(0, len(vectors), 2)
+            d = float(np.sqrt(((vectors[i] - vectors[j]) ** 2).sum()))
+            (intra if labels[i] == labels[j] else inter).append(d)
+        assert np.mean(intra) < 0.5 * np.mean(inter)
+
+    def test_zipf_cluster_sizes(self):
+        dataset = make_image_histograms(n=2000, seed=3)
+        __, counts = np.unique(dataset.labels, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 4 * counts[len(counts) // 2]
+
+
+class TestOtherGenerators:
+    def test_uniform(self):
+        dataset = make_uniform(n=100, dimension=5)
+        assert dataset.vectors.shape == (100, 5)
+        assert dataset.labels is None
+
+    def test_gaussian_mixture_labels(self):
+        dataset = make_gaussian_mixture(n=100, n_clusters=4)
+        assert len(np.unique(dataset.labels)) <= 4
+
+    def test_web_sessions_are_strings(self):
+        dataset = make_web_sessions(n=50)
+        assert len(dataset) == 50
+        assert all(isinstance(s, str) and s.startswith("/") for s in dataset)
+        assert dataset.labels is not None
+
+    def test_web_sessions_metric_compatible(self):
+        dataset = make_web_sessions(n=20)
+        check_metric_axioms("levenshtein", list(dataset), max_triples=100)
+
+    def test_web_sessions_cluster_by_profile(self):
+        from repro.metric import get_distance
+
+        dataset = make_web_sessions(n=120, seed=4)
+        lev = get_distance("levenshtein")
+        rng = np.random.default_rng(1)
+        same, different = [], []
+        for _ in range(200):
+            i, j = rng.integers(0, len(dataset), 2)
+            if i == j:
+                continue
+            d = lev.one(dataset[i], dataset[j])
+            if dataset.labels[i] == dataset.labels[j]:
+                same.append(d)
+            else:
+                different.append(d)
+        assert np.mean(same) < np.mean(different)
+
+
+class TestQuerySampling:
+    def test_without_replacement(self):
+        dataset = make_uniform(n=50)
+        queries = sample_database_queries(dataset, 50)
+        assert sorted(queries) == list(range(50))
+
+    def test_with_replacement_when_oversampled(self):
+        dataset = make_uniform(n=10)
+        queries = sample_database_queries(dataset, 25)
+        assert len(queries) == 25
+        assert all(0 <= q < 10 for q in queries)
+
+    def test_deterministic(self):
+        dataset = make_uniform(n=100)
+        assert sample_database_queries(dataset, 10, seed=3) == sample_database_queries(
+            dataset, 10, seed=3
+        )
+
+    def test_empty_dataset_rejected(self):
+        from repro.data import VectorDataset
+
+        with pytest.raises(ValueError):
+            sample_database_queries(VectorDataset(np.empty((0, 3))), 5)

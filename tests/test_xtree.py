@@ -1,0 +1,195 @@
+"""Tests for the X-tree access method."""
+
+import numpy as np
+import pytest
+
+from repro import Database, knn_query, range_query
+from repro.costmodel import Counters
+from repro.data import VectorDataset
+from repro.index.xtree import XTree
+from repro.metric import MetricSpace
+from repro.storage import SimulatedDisk
+
+from tests.helpers import brute_force_answers
+
+
+def build_xtree(vectors, bulk_load=True, block_size=2048, **kwargs):
+    counters = Counters()
+    space = MetricSpace("euclidean", counters)
+    disk = SimulatedDisk(counters, block_size=block_size)
+    dataset = VectorDataset(vectors)
+    tree = XTree(dataset, space, disk, bulk_load=bulk_load, **kwargs)
+    return tree, dataset, space, disk
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(21)
+    centers = rng.random((6, 5))
+    return np.clip(
+        centers[rng.integers(0, 6, 600)] + rng.standard_normal((600, 5)) * 0.04,
+        0,
+        1,
+    )
+
+
+class TestStructure:
+    @pytest.mark.parametrize("bulk_load", [True, False])
+    def test_all_objects_stored_exactly_once(self, vectors, bulk_load):
+        tree, *_ = build_xtree(vectors, bulk_load=bulk_load)
+        stored = sorted(
+            int(i) for page in tree.data_pages() for i in page.indices
+        )
+        assert stored == list(range(len(vectors)))
+
+    @pytest.mark.parametrize("bulk_load", [True, False])
+    def test_leaf_mbrs_contain_their_points(self, vectors, bulk_load):
+        tree, dataset, *_ = build_xtree(vectors, bulk_load=bulk_load)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                for point in dataset.batch(node.page.indices):
+                    assert node.mbr.contains_point(point)
+
+    @pytest.mark.parametrize("bulk_load", [True, False])
+    def test_directory_mbrs_contain_children(self, vectors, bulk_load):
+        tree, *_ = build_xtree(vectors, bulk_load=bulk_load)
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                for child in node.children:
+                    assert np.all(node.mbr.lo <= child.mbr.lo + 1e-12)
+                    assert np.all(child.mbr.hi <= node.mbr.hi + 1e-12)
+
+    def test_leaf_capacity_respected(self, vectors):
+        tree, *_ = build_xtree(vectors, bulk_load=False)
+        for page in tree.data_pages():
+            assert page.n_objects <= tree.leaf_capacity
+
+    def test_height_consistent(self, vectors):
+        tree, *_ = build_xtree(vectors)
+        assert tree.height() >= 2  # 600 points never fit one small page
+
+    def test_empty_dataset(self):
+        tree, *_ = build_xtree(np.empty((0, 4)))
+        assert tree.root is None
+        assert tree.data_pages() == []
+
+    def test_single_object(self):
+        tree, *_ = build_xtree(np.array([[0.5, 0.5]]), bulk_load=False)
+        assert tree.height() == 1
+        assert tree.data_pages()[0].n_objects == 1
+
+    def test_requires_vector_dataset(self):
+        counters = Counters()
+        space = MetricSpace("euclidean", counters)
+        disk = SimulatedDisk(counters)
+        from repro.data import GenericDataset
+
+        with pytest.raises(TypeError):
+            XTree(GenericDataset(["a", "b"]), space, disk)
+
+    def test_requires_mbr_capable_metric(self):
+        counters = Counters()
+        space = MetricSpace("cosine_angular", counters)
+        disk = SimulatedDisk(counters)
+        with pytest.raises(ValueError, match="MBR"):
+            XTree(VectorDataset(np.random.random((10, 3))), space, disk)
+
+    def test_summary_fields(self, vectors):
+        tree, *_ = build_xtree(vectors)
+        summary = tree.summary()
+        assert summary["name"] == "xtree"
+        assert summary["pages"] == len(tree.data_pages())
+
+
+class TestSupernodes:
+    def test_supernode_created_on_overlapping_directory(self):
+        # Points on a diagonal line in 8-d: every median split of the
+        # *directory* overlaps heavily, which must trigger supernodes
+        # rather than degenerate splits.
+        rng = np.random.default_rng(8)
+        base = rng.random(2000)
+        points = np.stack([base + rng.standard_normal(2000) * 0.001] * 8, axis=1)
+        tree, *_ = build_xtree(points, bulk_load=False, block_size=512)
+        # Either a clean overlap-free split always existed, or supernodes
+        # appeared; in both cases queries must stay correct (checked in
+        # TestQueries); here we assert the accounting is consistent.
+        supernode_pages = [
+            node.page
+            for node in tree.iter_nodes()
+            if not node.is_leaf and node.page.n_blocks > 1
+        ]
+        assert len(supernode_pages) == tree.n_supernodes
+
+    def test_supernode_capacity_grows(self, vectors):
+        tree, *_ = build_xtree(vectors, bulk_load=False, block_size=1024)
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert len(node.children) <= tree.dir_capacity * node.page.n_blocks
+
+
+class TestQueries:
+    @pytest.mark.parametrize("bulk_load", [True, False])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_knn_matches_brute_force(self, vectors, bulk_load, k):
+        db = Database(
+            vectors,
+            access="xtree",
+            block_size=2048,
+            index_options={"bulk_load": bulk_load},
+        )
+        for qi in (0, 99, 311):
+            answers = db.similarity_query(vectors[qi], knn_query(k))
+            expected = brute_force_answers(vectors, vectors[qi], knn_query(k))
+            assert sorted(a.distance for a in answers) == pytest.approx(
+                [d for _, d in expected]
+            )
+
+    @pytest.mark.parametrize("eps", [0.01, 0.1, 0.5])
+    def test_range_matches_brute_force(self, vectors, eps):
+        db = Database(vectors, access="xtree", block_size=2048)
+        for qi in (5, 123):
+            answers = db.similarity_query(vectors[qi], range_query(eps))
+            expected = brute_force_answers(vectors, vectors[qi], range_query(eps))
+            assert {a.index for a in answers} == {i for i, _ in expected}
+
+    def test_knn_prunes_pages(self, vectors):
+        db = Database(vectors, access="xtree", block_size=2048)
+        with db.measure() as run:
+            db.similarity_query(vectors[0], knn_query(3))
+        n_data_pages = len(db.access_method.data_pages())
+        data_reads = run.counters.page_reads + run.counters.buffer_hits
+        assert data_reads < n_data_pages  # pruning happened
+
+    def test_stream_orders_by_mindist(self, vectors):
+        db = Database(vectors, access="xtree", block_size=2048)
+        stream = db.access_method.page_stream(vectors[0])
+        bounds = [bound for bound, _ in stream.drain()]
+        assert bounds == sorted(bounds)
+
+    def test_page_lower_bounds_are_valid(self, vectors):
+        db = Database(vectors, access="xtree", block_size=2048)
+        tree = db.access_method
+        page = tree.data_pages()[0]
+        queries = vectors[:10]
+        bounds = tree.page_lower_bounds(page, queries, 0.0, None)
+        for bound, q in zip(bounds, queries):
+            for point in db.dataset.batch(page.indices):
+                true = float(np.sqrt(((point - q) ** 2).sum()))
+                assert bound <= true + 1e-9
+
+
+class TestDynamicVsBulk:
+    def test_same_answers_both_builds(self, vectors):
+        db_bulk = Database(vectors, access="xtree", block_size=2048)
+        db_dyn = Database(
+            vectors,
+            access="xtree",
+            block_size=2048,
+            index_options={"bulk_load": False},
+        )
+        for qi in (1, 50, 400):
+            a = db_bulk.similarity_query(vectors[qi], knn_query(7))
+            b = db_dyn.similarity_query(vectors[qi], knn_query(7))
+            assert sorted(x.distance for x in a) == pytest.approx(
+                sorted(x.distance for x in b)
+            )
