@@ -3,10 +3,20 @@
 Paper: super-linear speed-ups on the astronomy database (X-tree 17.9x
 at s = 16); sub-linear and eventually *decreasing* speed-ups on the
 small image database, caused by the O(m^2) matrix/avoidance overheads.
+
+Alongside the modelled cost (the figure itself), this module also runs
+one parallel multiple query on real worker processes
+(``backend="process"``) and reports measured wall-clock next to the
+modelled elapsed seconds -- answers and counters are asserted identical
+between the two backends.
 """
+
+import numpy as np
 
 from conftest import full_scale, run_once
 from repro.experiments import run_figure11
+from repro.core.types import knn_query
+from repro.parallel import ParallelDatabase
 
 
 def test_figure11(benchmark, config):
@@ -23,3 +33,43 @@ def test_figure11(benchmark, config):
         image_xtree = result.series_by_label("image / X-tree")
         assert image_xtree.values[-1] < max(image_xtree.values)
     benchmark.extra_info["figure"] = "11"
+
+
+def test_figure11_measured_wall_clock(benchmark):
+    """Measured multi-core wall-clock vs. modelled elapsed seconds.
+
+    Runs the same parallel multiple query through the cost model and
+    through real worker processes; answers must agree exactly, and the
+    measured per-server wall-clock is reported next to the modelled
+    elapsed time.  No speed-up is asserted: measured scaling depends on
+    the machine's core count, while the modelled figure is
+    hardware-independent.
+    """
+    rng = np.random.default_rng(11)
+    vectors = rng.random((4000, 8))
+    queries = [vectors[i] for i in range(24)]
+    indices = list(range(24))
+
+    def run():
+        with ParallelDatabase(
+            vectors, n_servers=4, access="scan", block_size=4096
+        ) as parallel:
+            modelled = parallel.multiple_similarity_query(
+                queries, knn_query(5), db_indices=indices, backend="model"
+            )
+            measured = parallel.multiple_similarity_query(
+                queries, knn_query(5), db_indices=indices, backend="process"
+            )
+        return modelled, measured
+
+    modelled, measured = run_once(benchmark, run)
+    for a, b in zip(modelled.answers, measured.answers):
+        assert [x.index for x in a] == [x.index for x in b]
+    benchmark.extra_info["figure"] = "11"
+    benchmark.extra_info["modelled_elapsed_seconds"] = modelled.elapsed_seconds
+    benchmark.extra_info["measured_wall_seconds"] = measured.elapsed_wall_seconds
+    print()
+    print(
+        f"modelled elapsed: {modelled.elapsed_seconds:.4f}s, "
+        f"measured wall-clock (4 workers): {measured.elapsed_wall_seconds:.4f}s"
+    )

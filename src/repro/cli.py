@@ -29,7 +29,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     )
     print(f"access methods: {', '.join(sorted(_ACCESS_METHODS))}")
     print(f"distance functions: {', '.join(sorted(_REGISTRY))}")
-    print("engines: reference, vectorized")
+    print("engines: reference, vectorized, batched")
     return 0
 
 
@@ -40,7 +40,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = make_gaussian_mixture(
         n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
     )
-    database = Database(dataset, access=args.access)
+    database = Database(dataset, access=args.access, engine=args.engine)
     print("database:", database.summary())
     indices = sample_database_queries(dataset, args.queries, seed=1)
     queries = [dataset[i] for i in indices]
@@ -106,6 +106,12 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--objects", type=int, default=15_000)
     demo.add_argument("--queries", type=int, default=60)
     demo.add_argument("--access", default="xtree", choices=["scan", "xtree", "vafile"])
+    demo.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "reference", "vectorized", "batched"],
+        help="page-processing engine (batched = fused cross-distance kernel)",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     calibrate = subparsers.add_parser(

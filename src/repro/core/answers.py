@@ -14,6 +14,8 @@ import heapq
 import math
 from typing import Iterable, NamedTuple
 
+import numpy as np
+
 from repro.core.types import QueryType
 
 
@@ -80,9 +82,50 @@ class AnswerList:
         return False
 
     def offer_many(self, indices: Iterable[int], distances: Iterable[float]) -> None:
-        """Consider candidates in order (page processing helper)."""
-        for index, distance in zip(indices, distances):
-            self.offer(int(index), float(distance))
+        """Consider candidates in order (page processing helper).
+
+        Semantically identical to offering one by one, but candidates
+        that provably cannot be accepted are dropped up front with a
+        single vectorised comparison: the radius never grows during an
+        offer sequence, so anything beyond the range (or, once
+        saturated, at or beyond the current k-th distance) is rejected
+        no matter when it is offered.
+        """
+        distances = np.asarray(distances, dtype=float)
+        if distances.size == 0:
+            return
+        indices = np.asarray(indices)
+        qtype = self.qtype
+        limit = qtype.range
+        if self._items is not None:
+            mask = distances <= limit
+            if mask.any():
+                append = self._items.append
+                for pair in zip(indices[mask].tolist(), distances[mask].tolist()):
+                    append(Answer(*pair))
+            return
+        heap = self._heap
+        k = qtype.k
+        mask = None
+        if math.isfinite(limit):
+            mask = distances <= limit
+        if len(heap) >= k:
+            tighter = distances < -heap[0][0]
+            mask = tighter if mask is None else mask & tighter
+        if mask is not None:
+            if not mask.any():
+                return
+            indices = indices[mask]
+            distances = distances[mask]
+        push = heapq.heappush
+        replace = heapq.heapreplace
+        for index, distance in zip(indices.tolist(), distances.tolist()):
+            if distance > limit:
+                continue
+            if len(heap) < k:
+                push(heap, (-distance, -index))
+            elif distance < -heap[0][0]:
+                replace(heap, (-distance, -index))
 
     def materialize(self) -> list[Answer]:
         """Return the answers in ascending order of distance.

@@ -79,37 +79,55 @@ def avoid_vectorized(
     ``dist(O, Q_i)`` is avoidable.
     """
     n_objects = known.shape[1] if known.size else 0
-    avoided = np.zeros(n_objects, dtype=bool)
     if known.size == 0 or math.isinf(radius):
-        return avoided
+        return np.zeros(n_objects, dtype=bool)
     n_known = known.shape[0]
     if max_pivots > 0:
         n_known = min(n_known, max_pivots)
-    active = np.ones(n_objects, dtype=bool)
-    for j in range(n_known):
-        row = known[j]
-        candidates = active & ~np.isnan(row)
-        n_candidates = int(np.count_nonzero(candidates))
-        if n_candidates == 0:
-            continue
-        if use_lemma1:
-            # Lemma 1: dist(O, Q_j) > dist(Q_i, Q_j) + r_i
-            counters.avoidance_tries += n_candidates
-            lemma1 = candidates & (row > query_to_known[j] + radius)
-        else:
-            lemma1 = np.zeros(n_objects, dtype=bool)
-        remaining = candidates & ~lemma1
-        if use_lemma2:
-            # Lemma 2: dist(Q_i, Q_j) > dist(O, Q_j) + r_i
-            counters.avoidance_tries += int(np.count_nonzero(remaining))
-            lemma2 = remaining & (query_to_known[j] > row + radius)
-        else:
-            lemma2 = np.zeros(n_objects, dtype=bool)
-        newly_avoided = lemma1 | lemma2
-        avoided |= newly_avoided
-        active &= ~newly_avoided
-        if not active.any():
-            break
+    known = known[:n_known]
+    query_to_known = query_to_known[:n_known]
+
+    # Evaluate both lemmas for every (pivot, object) pair in one sweep,
+    # then replay the per-object early stop ("tries end at the first
+    # successful pivot") as arithmetic on the success matrix.  NaN rows
+    # (the distance to Q_j was itself avoided) never match and are never
+    # charged a try.
+    valid = ~np.isnan(known)
+    if use_lemma1:
+        # Lemma 1: dist(O, Q_j) > dist(Q_i, Q_j) + r_i
+        lemma1 = valid & (known > (query_to_known + radius)[:, None])
+    else:
+        lemma1 = np.zeros_like(valid)
+    if use_lemma2:
+        # Lemma 2: dist(Q_i, Q_j) > dist(O, Q_j) + r_i
+        lemma2 = valid & ~lemma1 & (query_to_known[:, None] > known + radius)
+        success = lemma1 | lemma2
+    else:
+        success = lemma1
+    first = np.where(success.any(axis=0), success.argmax(axis=0), n_known)
+    avoided = first < n_known
+
+    # Tries: each valid pivot consulted before the first success costs
+    # one try per enabled lemma; the successful pivot costs one try when
+    # Lemma 1 fires and (use_lemma1 + 1) when Lemma 2 fires.
+    tries_per_pivot = int(use_lemma1) + int(use_lemma2)
+    if tries_per_pivot:
+        columns = np.arange(n_objects)
+        cumulative_valid = np.cumsum(valid, axis=0)
+        valid_before = np.where(
+            first > 0, cumulative_valid[first - 1, columns], 0
+        )
+        n_lemma1 = int(
+            np.count_nonzero(
+                avoided & lemma1[np.minimum(first, n_known - 1), columns]
+            )
+        )
+        n_lemma2 = int(np.count_nonzero(avoided)) - n_lemma1
+        counters.avoidance_tries += (
+            tries_per_pivot * int(valid_before.sum())
+            + n_lemma1
+            + n_lemma2 * (int(use_lemma1) + 1)
+        )
     counters.avoided_calculations += int(np.count_nonzero(avoided))
     return avoided
 

@@ -25,7 +25,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.core.answers import Answer
-from repro.core.engine import ENGINE_REFERENCE, ENGINE_VECTORIZED
+from repro.core.engine import ENGINE_BATCHED, ENGINE_REFERENCE, ENGINE_VECTORIZED
 from repro.core.multi_query import MultiQueryProcessor, run_in_blocks
 from repro.core.ranking import neighbor_ranking
 from repro.core.types import QueryType
@@ -124,8 +124,9 @@ class Database:
         LRU buffer capacity as a fraction of the database/index size
         (paper: 10 %); 0 disables buffering.
     engine:
-        Default page-processing engine: ``"vectorized"``,
-        ``"reference"`` or ``"auto"`` (vectorised when possible).
+        Default page-processing engine: ``"batched"`` (one fused kernel
+        per page x query-batch), ``"vectorized"``, ``"reference"`` or
+        ``"auto"`` (vectorised when possible).
     index_options:
         Extra keyword arguments forwarded to the access method.
     """
@@ -161,7 +162,7 @@ class Database:
                 if self.dataset.is_vector and self.space.is_vector_metric
                 else ENGINE_REFERENCE
             )
-        if engine not in (ENGINE_REFERENCE, ENGINE_VECTORIZED):
+        if engine not in (ENGINE_REFERENCE, ENGINE_VECTORIZED, ENGINE_BATCHED):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
         dimension = (

@@ -73,6 +73,10 @@ class _SlotMatrix:
         self._vectors: np.ndarray | None = None
         self._free: list[int] = []
         self._active: list[int] = []
+        # Mirror of ``_active`` for O(1) membership tests: the free-list
+        # rebuild after a grow scans every slot, and a list scan there
+        # is O(capacity * active) per grow.
+        self._active_set: set[int] = set()
 
     @property
     def n_active(self) -> int:
@@ -107,7 +111,7 @@ class _SlotMatrix:
             self._free = [
                 slot
                 for slot in range(self._capacity - 1, -1, -1)
-                if slot not in self._active and self._objs[slot] is None
+                if slot not in self._active_set and self._objs[slot] is None
             ]
         slot = self._free.pop()
         self._objs[slot] = obj
@@ -127,6 +131,7 @@ class _SlotMatrix:
         self.matrix[slot, slot] = 0.0
         self._known[slot, slot] = True
         self._active.append(slot)
+        self._active_set.add(slot)
         return slot
 
     def _compute_pairs(self, slot: int, others: list[int]) -> None:
@@ -152,6 +157,7 @@ class _SlotMatrix:
     def remove(self, slot: int) -> None:
         """Retire a slot; its row becomes reusable."""
         self._active.remove(slot)
+        self._active_set.discard(slot)
         self._objs[slot] = None
         self._free.append(slot)
 
@@ -193,8 +199,10 @@ class MultiQueryProcessor:
     database:
         The :class:`~repro.core.database.Database` to query.
     engine:
-        ``"vectorized"``, ``"reference"`` or ``None`` (the database
-        default).
+        ``"batched"``, ``"vectorized"``, ``"reference"`` or ``None``
+        (the database default).  ``batched`` evaluates a whole page x
+        query-batch in one fused kernel and falls back to
+        object-at-a-time evaluation for non-vector metrics.
     use_avoidance:
         Enable the triangle-inequality CPU optimisation (Sec. 5.2).
     max_pivots:

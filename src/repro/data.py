@@ -85,7 +85,18 @@ class VectorDataset(Dataset):
         return self.vectors[index]
 
     def batch(self, indices: np.ndarray) -> np.ndarray:
-        return self.vectors[np.asarray(indices, dtype=np.intp)]
+        indices = np.asarray(indices, dtype=np.intp)
+        n = indices.size
+        if n > 1:
+            first = int(indices[0])
+            # Consecutive pages (scan access, benchmark pages) come back
+            # as a view instead of a gather copy; callers treat batches
+            # as read-only.
+            if int(indices[-1]) - first == n - 1 and np.array_equal(
+                indices, np.arange(first, first + n)
+            ):
+                return self.vectors[first:first + n]
+        return self.vectors[indices]
 
     def __repr__(self) -> str:
         return f"VectorDataset(n={len(self)}, d={self.dimension})"

@@ -5,6 +5,11 @@ Every distance function implements :class:`DistanceFunction`:
 * ``one(a, b)`` -- distance between two objects;
 * ``many(xs, q)`` -- distances from a batch of objects to one query object
   (vectorised with numpy where the objects are vectors);
+* ``cross(xs, qs)`` -- the full ``(n, m)`` cross-distance matrix between a
+  batch of objects and a batch of query objects, evaluated in one fused
+  kernel (a single GEMM-based expansion for the inner-product family,
+  one broadcast kernel for the other Lp metrics, and an object-at-a-time
+  fallback for non-vector metrics);
 * optionally ``mbr_mindist(lo, hi, q)`` -- a lower bound of the distance
   between ``q`` and any point inside the axis-aligned box ``[lo, hi]``,
   required by R-tree-family indexes.
@@ -42,6 +47,19 @@ class DistanceFunction:
         """Return distances from each object in ``xs`` to ``q``."""
         return np.array([self.one(x, q) for x in xs], dtype=float)
 
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        """Return the ``(n, m)`` distance matrix between ``xs`` and ``qs``.
+
+        The generic fallback evaluates one :meth:`many` column per query
+        object, which works for arbitrary (non-vector) objects; vector
+        metrics override it with a single fused kernel.
+        """
+        n = len(xs)
+        m = len(qs)
+        if n == 0 or m == 0:
+            return np.empty((n, m), dtype=float)
+        return np.stack([self.many(xs, q) for q in qs], axis=1)
+
     def supports_mbr(self) -> bool:
         """Whether :meth:`mbr_mindist` is available for this metric."""
         return False
@@ -69,6 +87,30 @@ def _clip_outside(lo: np.ndarray, hi: np.ndarray, q: np.ndarray) -> np.ndarray:
     return np.maximum(np.maximum(lo - q, q - hi), 0.0)
 
 
+def _gemm_sq_cross(
+    xs: np.ndarray, qs: np.ndarray, sq_x: np.ndarray, sq_q: np.ndarray
+) -> np.ndarray:
+    """Squared cross distances via the ``|x|^2 + |q|^2 - 2 x.q`` expansion.
+
+    ``xs @ qs.T`` is the single GEMM carrying all ``n * m`` interactions;
+    ``sq_x`` / ``sq_q`` are the per-row squared norms under the metric's
+    inner product.  Clipped at zero against cancellation for near-equal
+    pairs.  The GEMM output buffer is updated in place: the follow-up
+    passes are memory-bound, so avoiding the three broadcast temporaries
+    roughly halves the kernel time at page scale.
+    """
+    sq = xs @ qs.T
+    sq *= -2.0
+    sq += sq_x[:, None]
+    sq += sq_q
+    return np.maximum(sq, 0.0, out=sq)
+
+
+def _abs_diff_cross(xs: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Broadcast ``(n, m, d)`` kernel of |x - q| for the Lp family."""
+    return np.abs(xs[:, None, :] - qs[None, :, :])
+
+
 class EuclideanDistance(DistanceFunction):
     """The Euclidean (L2) distance, the paper's primary metric."""
 
@@ -82,6 +124,14 @@ class EuclideanDistance(DistanceFunction):
     def many(self, xs: Any, q: Any) -> np.ndarray:
         diff = np.asarray(xs, dtype=float) - np.asarray(q, dtype=float)
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        qs = np.asarray(qs, dtype=float)
+        sq_x = np.einsum("ij,ij->i", xs, xs)
+        sq_q = np.einsum("ij,ij->i", qs, qs)
+        sq = _gemm_sq_cross(xs, qs, sq_x, sq_q)
+        return np.sqrt(sq, out=sq)
 
     def supports_mbr(self) -> bool:
         return True
@@ -119,6 +169,15 @@ class WeightedEuclideanDistance(DistanceFunction):
     def many(self, xs: Any, q: Any) -> np.ndarray:
         diff = np.asarray(xs, dtype=float) - np.asarray(q, dtype=float)
         return np.sqrt(np.einsum("ij,j,ij->i", diff, self.weights, diff))
+
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        qs = np.asarray(qs, dtype=float)
+        xw = xs * self.weights
+        sq_x = np.einsum("ij,ij->i", xw, xs)
+        sq_q = np.einsum("ij,j,ij->i", qs, self.weights, qs)
+        sq = _gemm_sq_cross(xw, qs, sq_x, sq_q)
+        return np.sqrt(sq, out=sq)
 
     def supports_mbr(self) -> bool:
         return True
@@ -178,6 +237,15 @@ class QuadraticFormDistance(DistanceFunction):
         values = np.einsum("ij,jk,ik->i", diff, self.matrix, diff)
         return np.sqrt(np.maximum(values, 0.0))
 
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        qs = np.asarray(qs, dtype=float)
+        xa = xs @ self.matrix
+        sq_x = np.einsum("ij,ij->i", xa, xs)
+        sq_q = np.einsum("ij,jk,ik->i", qs, self.matrix, qs)
+        sq = _gemm_sq_cross(xa, qs, sq_x, sq_q)
+        return np.sqrt(sq, out=sq)
+
     def supports_mbr(self) -> bool:
         return self._lambda_min_sqrt > 0.0
 
@@ -203,6 +271,12 @@ class ManhattanDistance(DistanceFunction):
         diff = np.asarray(xs, dtype=float) - np.asarray(q, dtype=float)
         return np.sum(np.abs(diff), axis=1)
 
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        diff = _abs_diff_cross(
+            np.asarray(xs, dtype=float), np.asarray(qs, dtype=float)
+        )
+        return np.sum(diff, axis=-1)
+
     def supports_mbr(self) -> bool:
         return True
 
@@ -223,6 +297,13 @@ class ChebyshevDistance(DistanceFunction):
     def many(self, xs: Any, q: Any) -> np.ndarray:
         diff = np.asarray(xs, dtype=float) - np.asarray(q, dtype=float)
         return np.max(np.abs(diff), axis=1)
+
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        qs = np.asarray(qs, dtype=float)
+        if xs.shape[1] == 0:
+            return np.zeros((xs.shape[0], qs.shape[0]), dtype=float)
+        return np.max(_abs_diff_cross(xs, qs), axis=-1)
 
     def supports_mbr(self) -> bool:
         return True
@@ -250,6 +331,12 @@ class MinkowskiDistance(DistanceFunction):
     def many(self, xs: Any, q: Any) -> np.ndarray:
         diff = np.abs(np.asarray(xs, dtype=float) - np.asarray(q, dtype=float))
         return np.sum(diff**self.p, axis=1) ** (1.0 / self.p)
+
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        diff = _abs_diff_cross(
+            np.asarray(xs, dtype=float), np.asarray(qs, dtype=float)
+        )
+        return np.sum(diff**self.p, axis=-1) ** (1.0 / self.p)
 
     def supports_mbr(self) -> bool:
         return True
@@ -293,6 +380,20 @@ class CosineAngularDistance(DistanceFunction):
         if np.any(zero_rows):
             same = np.all(xs == q, axis=1)
             cos = np.where(zero_rows & ~same, -1.0, cos)
+        return np.arccos(np.clip(cos, -1.0, 1.0))
+
+    def cross(self, xs: Any, qs: Any) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        qs = np.asarray(qs, dtype=float)
+        norm_x = np.linalg.norm(xs, axis=1)
+        norm_q = np.linalg.norm(qs, axis=1)
+        unit_x = xs / np.where(norm_x > 0, norm_x, 1.0)[:, None]
+        unit_q = qs / np.where(norm_q > 0, norm_q, 1.0)[:, None]
+        cos = unit_x @ unit_q.T
+        zero = (norm_x == 0)[:, None] | (norm_q == 0)[None, :]
+        if np.any(zero):
+            same = np.all(xs[:, None, :] == qs[None, :, :], axis=-1)
+            cos = np.where(zero, np.where(same, 1.0, -1.0), cos)
         return np.arccos(np.clip(cos, -1.0, 1.0))
 
 

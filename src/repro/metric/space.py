@@ -52,6 +52,21 @@ class MetricSpace:
             return np.empty(0, dtype=float)
         return self.distance.many(xs, q)
 
+    def cross_many(self, xs: Any, qs: Any) -> np.ndarray:
+        """Cross-distance matrix ``(len(xs), len(qs))``; counts ``n * m``.
+
+        One fused kernel evaluates every (object, query) pair.  The
+        batched page engine afterwards *refunds* the calculations the
+        reference engine would have avoided via the triangle inequality,
+        so the net counter values stay identical across engines.
+        """
+        n = len(xs)
+        m = len(qs)
+        self.counters.distance_calculations += n * m
+        if n == 0 or m == 0:
+            return np.empty((n, m), dtype=float)
+        return self.distance.cross(xs, qs)
+
     def d_query_pair(self, a: Any, b: Any) -> float:
         """Distance between two *query* objects (matrix initialisation).
 

@@ -23,11 +23,30 @@ global k-th-NN distance, since local candidates are global candidates --
 is broadcast to all servers as their initial query distance.  The
 broadcast itself is communication and, like the answer merge, is
 neglected in the cost model.
+
+Two execution backends share this logic:
+
+* ``"model"`` (default) -- every server runs sequentially in-process;
+  elapsed time is *modelled* as the slowest server's counter-derived
+  cost.  Deterministic, dependency-free, used by the Figure 11/12
+  harness.
+* ``"process"`` -- true multi-core execution: one
+  :class:`~concurrent.futures.ProcessPoolExecutor` worker per simulated
+  server (pinned, so per-server state such as the LRU buffer persists
+  across blocks), with the dataset vectors shipped once via
+  ``multiprocessing.shared_memory`` instead of being pickled per task.
+  Answers and counters are identical to the model backend; in addition
+  each server reports its *measured* wall-clock seconds, so the modelled
+  super-linear speed-up of Sec. 5.3 can be compared against real elapsed
+  time on multi-core hardware.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Any, Sequence
 
 import numpy as np
@@ -36,6 +55,7 @@ from repro.core.answers import Answer
 from repro.core.database import Database, MeasuredRun
 from repro.core.multi_query import MultiQueryProcessor
 from repro.core.types import QueryType
+from repro.costmodel import Counters
 from repro.data import Dataset, GenericDataset, VectorDataset, as_dataset
 from repro.metric.distances import DistanceFunction
 from repro.parallel.decluster import DECLUSTER_STRATEGIES
@@ -57,6 +77,13 @@ class _Server:
         ]
 
 
+def _block_key(db_indices: Sequence[int] | None, position: int) -> Any:
+    """Buffer key of the query at ``position`` (stable per block)."""
+    if db_indices is not None:
+        return ("parallel", int(db_indices[position]))
+    return ("parallel-pos", position)
+
+
 @dataclass
 class _Block:
     """One parallel multiple-query block."""
@@ -68,9 +95,7 @@ class _Block:
 
     def key(self, position: int) -> Any:
         """Buffer key of the query at ``position`` (stable per block)."""
-        if self.db_indices is not None:
-            return ("parallel", int(self.db_indices[position]))
-        return ("parallel-pos", position)
+        return _block_key(self.db_indices, position)
 
 
 @dataclass
@@ -79,6 +104,9 @@ class ParallelRun:
 
     answers: list[list[Answer]]
     per_server: list[MeasuredRun]
+    #: Measured per-server wall-clock seconds (``backend="process"``
+    #: only; ``None`` for the modelled backend).
+    wall_seconds: list[float] | None = field(default=None)
 
     @property
     def elapsed_io_seconds(self) -> float:
@@ -100,12 +128,164 @@ class ParallelRun:
         """Total work across all servers (for efficiency analyses)."""
         return sum(run.total_seconds for run in self.per_server)
 
+    @property
+    def elapsed_wall_seconds(self) -> float:
+        """Measured elapsed wall-clock time (slowest server).
+
+        Only available for ``backend="process"`` runs.
+        """
+        if self.wall_seconds is None:
+            raise ValueError(
+                "wall-clock times are only measured with backend='process'"
+            )
+        return max(self.wall_seconds)
+
 
 def _slice_dataset(dataset: Dataset, indices: np.ndarray) -> Dataset:
     labels = dataset.labels[indices] if dataset.labels is not None else None
     if isinstance(dataset, VectorDataset):
         return VectorDataset(dataset.vectors[indices], labels=labels)
     return GenericDataset(dataset.batch(indices), labels=labels)
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker side
+# ----------------------------------------------------------------------
+#
+# Each simulated server is pinned to its own single-worker
+# ProcessPoolExecutor, so consecutive tasks for one server run in the
+# same OS process and can reuse per-server state cached here: the
+# partition's database (index build happens once) and, between the two
+# phases of one block, the admitted multiple-query processor.
+
+#: Per-process cache: ``(shm_name, server_id) -> {"database", "block"}``.
+_WORKER_STATE: dict[tuple[str, int], dict[str, Any]] = {}
+
+
+def _worker_server(setup: dict[str, Any]) -> dict[str, Any]:
+    """Return (building on first use) this process's server state."""
+    key = (setup["shm_name"], setup["server_id"])
+    state = _WORKER_STATE.get(key)
+    if state is None:
+        shm = shared_memory.SharedMemory(name=setup["shm_name"])
+        try:
+            vectors = np.ndarray(
+                setup["shape"], dtype=setup["dtype"], buffer=shm.buf
+            )
+            partition = np.array(vectors[setup["global_indices"]])
+        finally:
+            shm.close()
+        state = {
+            "database": Database(
+                partition,
+                metric=setup["metric"],
+                access=setup["access"],
+                block_size=setup["block_size"],
+                buffer_fraction=setup["buffer_fraction"],
+                engine=setup["engine"],
+                index_options=setup["index_options"],
+            ),
+            "block": None,
+        }
+        _WORKER_STATE[key] = state
+    return state
+
+
+def _block_keys(db_indices: list[int] | None, n: int) -> list[Any]:
+    return [_block_key(db_indices, position) for position in range(n)]
+
+
+def _worker_phase1(
+    setup: dict[str, Any], payload: dict[str, Any]
+) -> dict[int, float]:
+    """Admit a block and warm up the queries homed at this server.
+
+    Returns the home candidate bounds to broadcast (position -> radius);
+    the admitted processor is cached for :func:`_worker_phase2`.
+    """
+    state = _worker_server(setup)
+    database = state["database"]
+    start = time.perf_counter()
+    snapshot = database.counters.copy()
+    processor = database.processor(
+        use_avoidance=payload["use_avoidance"],
+        warm_start=payload["warm_start"],
+        seed_from_queries=payload["db_indices"] is not None,
+    )
+    keys = _block_keys(payload["db_indices"], len(payload["objs"]))
+    pendings = [
+        processor.admit(
+            obj,
+            qtype,
+            key=keys[position],
+            db_index=(
+                payload["db_indices"][position]
+                if payload["db_indices"] is not None
+                else None
+            ),
+        )
+        for position, (obj, qtype) in enumerate(
+            zip(payload["objs"], payload["qtypes"])
+        )
+    ]
+    if payload["db_indices"] is not None:
+        processor._seed_radius_hints(pendings)
+    if payload["seed_radius"] is not None:
+        for pending, radius in zip(pendings, payload["seed_radius"]):
+            if radius < pending.radius_hint:
+                pending.radius_hint = float(radius)
+    bounds: dict[int, float] = {}
+    for position in payload["home_positions"]:
+        pending = pendings[position]
+        if not pending.qtype.adapts_radius:
+            continue
+        processor._warm_up([pending])
+        radius = pending.radius
+        if radius < float("inf"):
+            bounds[position] = radius
+    state["block"] = {
+        "processor": processor,
+        "payload": payload,
+        "keys": keys,
+        "snapshot": snapshot,
+        "wall": time.perf_counter() - start,
+    }
+    return bounds
+
+
+def _worker_phase2(
+    setup: dict[str, Any], foreign_bounds: dict[int, float]
+) -> tuple[list[list[tuple[int, float]]], dict[str, int], float]:
+    """Apply broadcast bounds, run the block, return global answers.
+
+    Returns ``(answers, counters, wall_seconds)`` where ``answers`` maps
+    each query position to ``(global_index, distance)`` pairs and
+    ``counters`` / ``wall_seconds`` cover both phases of this block.
+    """
+    state = _WORKER_STATE[(setup["shm_name"], setup["server_id"])]
+    block = state["block"]
+    processor = block["processor"]
+    payload = block["payload"]
+    start = time.perf_counter()
+    for position, bound in foreign_bounds.items():
+        pending = processor._pending[block["keys"][position]]
+        if bound < pending.radius_hint:
+            pending.radius_hint = float(bound)
+    results = processor.query_all(
+        payload["objs"],
+        payload["qtypes"],
+        keys=block["keys"],
+        db_indices=payload["db_indices"],
+    )
+    wall = block["wall"] + (time.perf_counter() - start)
+    counters = state["database"].counters.diff(block["snapshot"]).as_dict()
+    global_indices = setup["global_indices"]
+    answers = [
+        [(int(global_indices[a.index]), a.distance) for a in result]
+        for result in results
+    ]
+    state["block"] = None
+    return answers, counters, wall
 
 
 class ParallelDatabase:
@@ -138,6 +318,17 @@ class ParallelDatabase:
             )
         partitions = strategy(len(self.dataset), n_servers)
         self.n_servers = n_servers
+        self._worker_config = {
+            "metric": metric,
+            "access": access,
+            "block_size": block_size,
+            "buffer_fraction": buffer_fraction,
+            "engine": engine,
+            "index_options": dict(index_options) if index_options else None,
+        }
+        self._shm: shared_memory.SharedMemory | None = None
+        self._pools: list[ProcessPoolExecutor] | None = None
+        self._setups: list[dict[str, Any]] | None = None
         self.servers = [
             _Server(
                 server_id=s,
@@ -166,6 +357,64 @@ class ParallelDatabase:
         for server in self.servers:
             server.database.cold()
 
+    # ------------------------------------------------------------------
+    # Process backend lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_process_backend(self) -> None:
+        """Lazily create the shared-memory segment and worker pools."""
+        if self._pools is not None:
+            return
+        if not self.dataset.is_vector:
+            raise ValueError("backend='process' requires a vector dataset")
+        vectors = np.ascontiguousarray(self.dataset.vectors, dtype=float)
+        shm = shared_memory.SharedMemory(create=True, size=vectors.nbytes)
+        np.ndarray(vectors.shape, dtype=vectors.dtype, buffer=shm.buf)[:] = vectors
+        self._shm = shm
+        self._setups = [
+            {
+                "shm_name": shm.name,
+                "server_id": server.server_id,
+                "shape": vectors.shape,
+                "dtype": str(vectors.dtype),
+                "global_indices": server.global_indices,
+                **self._worker_config,
+            }
+            for server in self.servers
+        ]
+        # One single-worker pool per server pins each simulated server
+        # to one OS process, so its index and LRU buffer persist there.
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1) for _ in self.servers
+        ]
+
+    def close(self) -> None:
+        """Shut down worker processes and release the shared memory."""
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=False, cancel_futures=True)
+            self._pools = None
+            self._setups = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "ParallelDatabase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def multiple_similarity_query(
         self,
         query_objs: Sequence[Any],
@@ -176,6 +425,7 @@ class ParallelDatabase:
         seed_radius: Sequence[float] | None = None,
         db_indices: Sequence[int] | None = None,
         share_home_bounds: bool = True,
+        backend: str = "model",
     ) -> ParallelRun:
         """Process a batch of queries on all servers and merge.
 
@@ -187,6 +437,13 @@ class ParallelDatabase:
         plus, with ``share_home_bounds``, the home-server candidate-bound
         broadcast.  Both only suppress local answers provably outside the
         global top-k, so the merged answers are unaffected.
+
+        ``backend`` selects sequential in-process execution with
+        modelled elapsed time (``"model"``, the default) or true
+        multi-core execution on one worker process per server
+        (``"process"``), which additionally measures per-server
+        wall-clock seconds (:attr:`ParallelRun.wall_seconds`).  Answers
+        and counters are identical across backends.
         """
         if isinstance(qtypes, QueryType):
             qtypes = [qtypes] * len(query_objs)
@@ -195,11 +452,18 @@ class ParallelDatabase:
             raise ValueError("need one query type per query object")
         if db_indices is not None and len(db_indices) != len(query_objs):
             raise ValueError("need one dataset index per query object")
+        if backend not in ("model", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
         effective_block = block_size if block_size is not None else len(query_objs)
         if effective_block < 1:
             raise ValueError("block size must be positive")
+        if backend == "process":
+            self._ensure_process_backend()
+            totals = [Counters() for _ in self.servers]
+            walls = [0.0 for _ in self.servers]
+        else:
+            snapshots = [server.database.counters.copy() for server in self.servers]
 
-        snapshots = [server.database.counters.copy() for server in self.servers]
         per_server_answers: list[list[list[Answer]]] = [[] for _ in self.servers]
         for start in range(0, len(query_objs), effective_block):
             stop = start + effective_block
@@ -215,30 +479,102 @@ class ParallelDatabase:
                     else None
                 ),
             )
-            block_results = self._run_block(
-                block, use_avoidance, warm_start, share_home_bounds
-            )
-            for s, local in enumerate(block_results):
-                per_server_answers[s].extend(local)
+            if backend == "process":
+                outcome = self._run_block_process(
+                    block, use_avoidance, warm_start, share_home_bounds
+                )
+                for s, (answers, counter_dict, wall) in enumerate(outcome):
+                    per_server_answers[s].extend(
+                        [Answer(index, distance) for index, distance in result]
+                        for result in answers
+                    )
+                    totals[s].add(Counters(**counter_dict))
+                    walls[s] += wall
+            else:
+                block_results = self._run_block(
+                    block, use_avoidance, warm_start, share_home_bounds
+                )
+                for s, local in enumerate(block_results):
+                    per_server_answers[s].extend(
+                        self.servers[s].to_global(result) for result in local
+                    )
 
-        per_server_runs = [
-            MeasuredRun(
-                server.database.counters.diff(snapshot),
-                server.database.cost_model,
-            )
-            for server, snapshot in zip(self.servers, snapshots)
-        ]
+        if backend == "process":
+            per_server_runs = [
+                MeasuredRun(totals[s], server.database.cost_model)
+                for s, server in enumerate(self.servers)
+            ]
+            wall_seconds: list[float] | None = walls
+        else:
+            per_server_runs = [
+                MeasuredRun(
+                    server.database.counters.diff(snapshot),
+                    server.database.cost_model,
+                )
+                for server, snapshot in zip(self.servers, snapshots)
+            ]
+            wall_seconds = None
         merged = [
             self._merge(
                 qtypes[q],
-                [
-                    self.servers[s].to_global(per_server_answers[s][q])
-                    for s in range(self.n_servers)
-                ],
+                [per_server_answers[s][q] for s in range(self.n_servers)],
             )
             for q in range(len(query_objs))
         ]
-        return ParallelRun(answers=merged, per_server=per_server_runs)
+        return ParallelRun(
+            answers=merged, per_server=per_server_runs, wall_seconds=wall_seconds
+        )
+
+    def _run_block_process(
+        self,
+        block: _Block,
+        use_avoidance: bool,
+        warm_start: bool,
+        share_home_bounds: bool,
+    ) -> list[tuple[list[list[tuple[int, float]]], dict[str, int], float]]:
+        """One block on the process backend (true multi-core execution).
+
+        Phase 1 admits the block on every server concurrently and warms
+        the queries homed at each server; the gathered candidate bounds
+        are then broadcast and phase 2 runs the block to completion on
+        all servers concurrently.  The ``result()`` barrier between the
+        phases is the (cost-neglected) broadcast synchronisation point.
+        """
+        assert self._pools is not None and self._setups is not None
+        home_positions: list[list[int]] = [[] for _ in self.servers]
+        if share_home_bounds and block.db_indices is not None:
+            for position, global_index in enumerate(block.db_indices):
+                home = self._home_server.get(int(global_index))
+                if home is not None:
+                    home_positions[home].append(position)
+        payload = {
+            "objs": block.objs,
+            "qtypes": block.qtypes,
+            "db_indices": block.db_indices,
+            "seed_radius": block.seed_radius,
+            "use_avoidance": use_avoidance,
+            "warm_start": warm_start,
+        }
+        phase1 = [
+            pool.submit(
+                _worker_phase1,
+                setup,
+                {**payload, "home_positions": home_positions[s]},
+            )
+            for s, (pool, setup) in enumerate(zip(self._pools, self._setups))
+        ]
+        bounds: dict[int, float] = {}
+        for future in phase1:
+            bounds.update(future.result())
+        phase2 = []
+        for s, (pool, setup) in enumerate(zip(self._pools, self._setups)):
+            foreign = {
+                position: bound
+                for position, bound in bounds.items()
+                if position not in home_positions[s]
+            }
+            phase2.append(pool.submit(_worker_phase2, setup, foreign))
+        return [future.result() for future in phase2]
 
     def _run_block(
         self,

@@ -1,0 +1,263 @@
+"""Cross-engine equivalence: reference vs. vectorized vs. batched.
+
+The three page-processing engines must produce *identical answer sets*
+and *identical counters* on every page/batch for every vector metric
+(DESIGN.md design decision 2, extended by the fused batched engine whose
+avoidance is a post-hoc counter adjustment).  Seeded-random pages are
+driven by hypothesis so shrinking yields a minimal failing seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, knn_query, range_query
+from repro.core.answers import AnswerList
+from repro.core.engine import (
+    PendingQuery,
+    process_page_batched,
+    process_page_reference,
+    process_page_vectorized,
+)
+from repro.costmodel import Counters
+from repro.data import VectorDataset
+from repro.metric.distances import (
+    ChebyshevDistance,
+    CosineAngularDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+    QuadraticFormDistance,
+    WeightedEuclideanDistance,
+)
+from repro.metric.space import MetricSpace
+from repro.storage.page import Page
+
+ENGINES = {
+    "reference": process_page_reference,
+    "vectorized": process_page_vectorized,
+    "batched": process_page_batched,
+}
+
+
+def make_metric(name: str, dim: int, rng: np.random.Generator):
+    if name == "euclidean":
+        return EuclideanDistance()
+    if name == "weighted_euclidean":
+        return WeightedEuclideanDistance(rng.uniform(0.1, 2.0, dim))
+    if name == "quadratic_form":
+        return QuadraticFormDistance.color_histogram(dim)
+    if name == "manhattan":
+        return ManhattanDistance()
+    if name == "chebyshev":
+        return ChebyshevDistance()
+    if name == "minkowski":
+        return MinkowskiDistance(3.0)
+    if name == "cosine_angular":
+        return CosineAngularDistance()
+    raise AssertionError(name)
+
+
+VECTOR_METRICS = [
+    "euclidean",
+    "weighted_euclidean",
+    "quadratic_form",
+    "manhattan",
+    "chebyshev",
+    "minkowski",
+    "cosine_angular",
+]
+
+
+def run_engine(process, metric, vectors, queries, qtypes, matrix, max_pivots):
+    """Process two consecutive pages; return (answer sets, counters).
+
+    The page split matters: the first page saturates the k-NN answer
+    lists, so the second page exercises the avoidance lemmas with finite
+    radii in every engine.
+    """
+    dataset = VectorDataset(vectors)
+    half = len(vectors) // 2
+    pages = [
+        Page(page_id=0, indices=np.arange(half)),
+        Page(page_id=1, indices=np.arange(half, len(vectors))),
+    ]
+    space = MetricSpace(metric)
+    batch = [
+        PendingQuery(
+            key=i,
+            obj=queries[i],
+            qtype=qtypes[i],
+            answers=AnswerList(qtypes[i]),
+            slot=i,
+        )
+        for i in range(len(queries))
+    ]
+    for page in pages:
+        process(
+            page,
+            batch,
+            dataset,
+            space,
+            matrix,
+            space.counters,
+            max_pivots=max_pivots,
+        )
+    answer_sets = [
+        frozenset(a.index for a in pending.answers.materialize())
+        for pending in batch
+    ]
+    return answer_sets, space.counters.as_dict()
+
+
+class TestThreeEngineEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        metric_name=st.sampled_from(VECTOR_METRICS),
+        max_pivots=st.sampled_from([0, 2, 32]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_pages_and_batches(self, seed, metric_name, max_pivots):
+        rng = np.random.default_rng(seed)
+        n_objects = int(rng.integers(2, 120))
+        m = int(rng.integers(1, 10))
+        dim = int(rng.integers(1, 8))
+        vectors = rng.random((n_objects, dim))
+        queries = rng.random((m, dim))
+        metric = make_metric(metric_name, dim, rng)
+        scale = metric.one(np.zeros(dim), np.ones(dim)) or 1.0
+        qtypes = [
+            knn_query(int(rng.integers(1, 6)))
+            if i % 2 == 0
+            else range_query(float(rng.uniform(0.05, 0.6)) * scale)
+            for i in range(m)
+        ]
+        matrix = np.zeros((m, m))
+        for i in range(m):
+            for j in range(m):
+                matrix[i, j] = metric.one(queries[i], queries[j])
+
+        results = {
+            name: run_engine(
+                process, metric, vectors, queries, qtypes, matrix, max_pivots
+            )
+            for name, process in ENGINES.items()
+        }
+        reference = results["reference"]
+        assert results["vectorized"][0] == reference[0]
+        assert results["batched"][0] == reference[0]
+        assert results["vectorized"][1] == reference[1]
+        assert results["batched"][1] == reference[1]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_no_avoidance_counts_every_pair(self, seed):
+        rng = np.random.default_rng(seed)
+        n_objects = int(rng.integers(1, 80))
+        m = int(rng.integers(1, 8))
+        vectors = rng.random((n_objects, 4))
+        queries = rng.random((m, 4))
+        matrix = np.zeros((m, m))
+        for name, process in ENGINES.items():
+            space = MetricSpace("euclidean")
+            dataset = VectorDataset(vectors)
+            batch = [
+                PendingQuery(
+                    key=i,
+                    obj=queries[i],
+                    qtype=knn_query(3),
+                    answers=AnswerList(knn_query(3)),
+                    slot=i,
+                )
+                for i in range(m)
+            ]
+            process(
+                Page(page_id=0, indices=np.arange(n_objects)),
+                batch,
+                dataset,
+                space,
+                matrix,
+                space.counters,
+                use_avoidance=False,
+            )
+            assert space.counters.distance_calculations == n_objects * m, name
+            assert space.counters.avoidance_tries == 0, name
+
+
+class TestFullStackEquivalence:
+    """End-to-end: whole multiple-query runs agree across engines."""
+
+    @pytest.mark.parametrize("access", ["scan", "xtree"])
+    def test_query_all_identical(self, access):
+        rng = np.random.default_rng(23)
+        vectors = rng.random((400, 6))
+        query_indices = list(range(0, 24))
+        queries = [vectors[i] for i in query_indices]
+        outcomes = {}
+        for engine in ("reference", "vectorized", "batched"):
+            db = Database(
+                vectors, access=access, block_size=2048, engine=engine
+            )
+            with db.measure() as run:
+                results = db.run_in_blocks(
+                    queries,
+                    knn_query(5),
+                    block_size=8,
+                    db_indices=query_indices,
+                )
+            outcomes[engine] = (
+                [frozenset(a.index for a in answers) for answers in results],
+                run.counters.as_dict(),
+            )
+        assert outcomes["vectorized"] == outcomes["reference"]
+        assert outcomes["batched"] == outcomes["reference"]
+
+
+class TestCrossKernel:
+    """The fused ``cross`` kernels agree with pairwise ``one``."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        metric_name=st.sampled_from(VECTOR_METRICS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cross_matches_one(self, seed, metric_name):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 30))
+        m = int(rng.integers(1, 8))
+        dim = int(rng.integers(1, 10))
+        xs = rng.standard_normal((n, dim))
+        qs = rng.standard_normal((m, dim))
+        metric = make_metric(metric_name, dim, rng)
+        got = metric.cross(xs, qs)
+        assert got.shape == (n, m)
+        expected = np.array(
+            [[metric.one(x, q) for q in qs] for x in xs], dtype=float
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+    def test_cross_generic_fallback_nonvector(self):
+        from repro.metric.distances import LevenshteinDistance
+
+        metric = LevenshteinDistance()
+        xs = ["kitten", "sitting", "abc"]
+        qs = ["kitten", "flag"]
+        got = metric.cross(xs, qs)
+        assert got.shape == (3, 2)
+        assert got[0, 0] == 0.0
+        assert got[1, 0] == metric.one("sitting", "kitten")
+
+    def test_cross_empty(self):
+        metric = EuclideanDistance()
+        assert metric.cross(np.empty((0, 3)), np.ones((2, 3))).shape == (0, 2)
+        assert metric.cross(np.ones((2, 3)), np.empty((0, 3))).shape == (2, 0)
+
+    def test_cross_many_counts(self):
+        space = MetricSpace("euclidean")
+        xs = np.random.default_rng(0).random((7, 3))
+        qs = np.random.default_rng(1).random((4, 3))
+        space.cross_many(xs, qs)
+        assert space.counters.distance_calculations == 28

@@ -157,3 +157,63 @@ class TestParallelCostModel:
             local_labels = server.database.dataset.labels
             expected = dataset.labels[server.global_indices]
             assert np.array_equal(local_labels, expected)
+
+
+class TestProcessBackend:
+    """The measured ``backend="process"`` agrees with the modelled one."""
+
+    def test_answers_and_counters_match_model(self, vectors):
+        queries = [vectors[i] for i in range(12)]
+        indices = list(range(12))
+        with ParallelDatabase(
+            vectors, n_servers=2, access="scan", block_size=2048
+        ) as parallel:
+            modelled = parallel.multiple_similarity_query(
+                queries, knn_query(5), db_indices=indices, backend="model"
+            )
+            measured = parallel.multiple_similarity_query(
+                queries, knn_query(5), db_indices=indices, backend="process"
+            )
+        for a, b in zip(modelled.answers, measured.answers):
+            assert [x.index for x in a] == [x.index for x in b]
+            assert [x.distance for x in a] == pytest.approx(
+                [x.distance for x in b]
+            )
+        for run_a, run_b in zip(modelled.per_server, measured.per_server):
+            assert run_a.counters.as_dict() == run_b.counters.as_dict()
+
+    def test_wall_clock_only_measured_for_process(self, vectors):
+        queries = [vectors[i] for i in range(6)]
+        with ParallelDatabase(
+            vectors, n_servers=2, access="scan", block_size=2048
+        ) as parallel:
+            modelled = parallel.multiple_similarity_query(
+                queries, knn_query(3), backend="model"
+            )
+            measured = parallel.multiple_similarity_query(
+                queries, knn_query(3), backend="process"
+            )
+        assert modelled.wall_seconds is None
+        with pytest.raises(ValueError, match="wall-clock"):
+            modelled.elapsed_wall_seconds
+        assert measured.wall_seconds is not None
+        assert len(measured.wall_seconds) == 2
+        assert measured.elapsed_wall_seconds > 0.0
+
+    def test_range_queries_and_unknown_backend(self, vectors):
+        queries = [vectors[0], vectors[1]]
+        with ParallelDatabase(
+            vectors, n_servers=2, access="scan", block_size=2048
+        ) as parallel:
+            modelled = parallel.multiple_similarity_query(
+                queries, range_query(0.3), backend="model"
+            )
+            measured = parallel.multiple_similarity_query(
+                queries, range_query(0.3), backend="process"
+            )
+            with pytest.raises(ValueError, match="unknown backend"):
+                parallel.multiple_similarity_query(
+                    queries, knn_query(2), backend="threads"
+                )
+        for a, b in zip(modelled.answers, measured.answers):
+            assert sorted(x.index for x in a) == sorted(x.index for x in b)
