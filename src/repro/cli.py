@@ -6,6 +6,12 @@
     python -m repro demo                 # 60-second single-vs-multiple demo
     python -m repro calibrate [-d DIM]   # time dist/comparison on this machine
     python -m repro experiments [...]    # full evaluation (run_all)
+    python -m repro report METRICS.json  # pretty-print an observability run
+
+``demo`` and ``experiments`` accept ``--trace FILE`` (JSONL spans and
+events) and ``--metrics-out FILE`` (metrics snapshot: sharing factor,
+avoidance hit-rate, phase latency histograms); ``report`` renders such
+files.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import numpy as np
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.core.database import _ACCESS_METHODS
+    from repro.core.engine import engine_names
     from repro.metric.distances import _REGISTRY
 
     print(f"repro {repro.__version__}")
@@ -29,8 +36,29 @@ def _cmd_info(args: argparse.Namespace) -> int:
     )
     print(f"access methods: {', '.join(sorted(_ACCESS_METHODS))}")
     print(f"distance functions: {', '.join(sorted(_REGISTRY))}")
-    print("engines: reference, vectorized, batched")
+    print(f"engines: {', '.join(engine_names())}")
     return 0
+
+
+def _make_observer(args: argparse.Namespace):
+    """Build an Observer when ``--trace``/``--metrics-out`` was given."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics_out", None)):
+        return None
+    from repro.obs import Observer
+
+    return Observer(trace=args.trace is not None)
+
+
+def _flush_observer(observer, args: argparse.Namespace) -> None:
+    """Write the trace/metrics files an Observer gathered."""
+    if observer is None:
+        return
+    if args.trace:
+        n = observer.write_trace(args.trace)
+        print(f"wrote {n} trace entries to {args.trace}")
+    if args.metrics_out:
+        observer.write_metrics(args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -40,7 +68,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = make_gaussian_mixture(
         n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
     )
-    database = Database(dataset, access=args.access, engine=args.engine)
+    observer = _make_observer(args)
+    database = Database(
+        dataset, access=args.access, engine=args.engine, observer=observer
+    )
     print("database:", database.summary())
     indices = sample_database_queries(dataset, args.queries, seed=1)
     queries = [dataset[i] for i in indices]
@@ -65,6 +96,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{multi.total_seconds:8.3f} modelled seconds "
         f"({single.total_seconds / multi.total_seconds:.1f}x)"
     )
+    _flush_observer(observer, args)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import read_jsonl, render_report
+
+    if not args.metrics and not args.trace:
+        print("report: need a metrics file and/or --trace FILE", file=sys.stderr)
+        return 2
+    metrics = None
+    if args.metrics:
+        with open(args.metrics) as handle:
+            metrics = json.load(handle)
+    trace_records = read_jsonl(args.trace) if args.trace else None
+    print(render_report(metrics, trace_records))
     return 0
 
 
@@ -88,7 +137,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_all
 
     config = ExperimentConfig.small() if args.small else ExperimentConfig.default()
-    return run_all(config, args.out)
+    return run_all(config, args.out, metrics_out=args.metrics_out)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,11 +155,26 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--objects", type=int, default=15_000)
     demo.add_argument("--queries", type=int, default=60)
     demo.add_argument("--access", default="xtree", choices=["scan", "xtree", "vafile"])
+    from repro.core.engine import engine_names
+
     demo.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "reference", "vectorized", "batched"],
+        choices=["auto", *engine_names()],
         help="page-processing engine (batched = fused cross-distance kernel)",
+    )
+    demo.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write spans/events of the run as JSON Lines",
+    )
+    demo.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics snapshot (sharing factor, avoidance "
+        "hit-rate, phase latency histograms) as JSON",
     )
     demo.set_defaults(func=_cmd_demo)
 
@@ -125,7 +189,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     experiments.add_argument("--small", action="store_true")
     experiments.add_argument("--out", default=None)
+    experiments.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a per-sweep metrics sidecar (sharing factor, "
+        "avoidance hit-rate per figure sweep point) as JSON",
+    )
     experiments.set_defaults(func=_cmd_experiments)
+
+    report = subparsers.add_parser(
+        "report", help="pretty-print a metrics snapshot and/or trace"
+    )
+    report.add_argument(
+        "metrics", nargs="?", default=None, help="metrics JSON (from --metrics-out)"
+    )
+    report.add_argument(
+        "--trace", default=None, metavar="FILE", help="trace JSONL (from --trace)"
+    )
+    report.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

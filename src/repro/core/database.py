@@ -129,6 +129,10 @@ class Database:
         ``"auto"`` (vectorised when possible).
     index_options:
         Extra keyword arguments forwarded to the access method.
+    observer:
+        Optional :class:`~repro.obs.Observer` to attach (see
+        :meth:`attach_observer`).  Without one, queries run the exact
+        uninstrumented code paths.
     """
 
     def __init__(
@@ -140,6 +144,7 @@ class Database:
         buffer_fraction: float = 0.1,
         engine: str = "auto",
         index_options: dict[str, Any] | None = None,
+        observer: Any = None,
     ):
         self.dataset = as_dataset(data)
         self.counters = Counters()
@@ -171,6 +176,34 @@ class Database:
             else _GENERIC_EFFECTIVE_DIMENSION
         )
         self.cost_model = CostModel(dimension)
+        self.observer: Any = None
+        if observer is not None:
+            self.attach_observer(observer)
+
+    def attach_observer(self, observer: Any) -> Any:
+        """Attach an :class:`~repro.obs.Observer` to this database.
+
+        Registers the shared :class:`Counters` and the buffer pool as
+        snapshot-time metric collectors and makes every processor
+        created from this database report phases, spans and events
+        through the observer.  Purely additive: answers and counters
+        are identical with and without an observer.
+        """
+        from repro.obs import attach_counters
+
+        self.observer = observer
+        attach_counters(observer.metrics, self.counters)
+        observer.metrics.register_collector(self._buffer_stats)
+        return observer
+
+    def _buffer_stats(self) -> dict[str, float]:
+        """Snapshot-time buffer-pool statistics (Sec. 5.1 I/O sharing)."""
+        buffer = self.disk.buffer
+        return {
+            "buffer.lookups": buffer.lookups,
+            "buffer.hits": buffer.hits,
+            "derived.buffer_hit_rate": buffer.hit_rate,
+        }
 
     def __len__(self) -> int:
         return len(self.dataset)

@@ -337,10 +337,70 @@ _ENGINES = {
 }
 
 
-def get_engine(name: str) -> Any:
-    """Resolve a page-processing engine by name."""
+def engine_names() -> list[str]:
+    """Registered page-processing engine names, in registry order."""
+    return list(_ENGINES)
+
+
+def _instrument_engine(name: str, process: Any, observer: Any) -> Any:
+    """Wrap an engine with the ``page.process`` phase profile.
+
+    Each page evaluation is timed into the observer's
+    ``phase.page.process.seconds`` histogram (and recorded as a span
+    when tracing is on), the sharing-factor inputs (pages processed,
+    queries served per page) are counted, and the Lemma-1/2 outcome of
+    the page is emitted as one aggregated ``avoidance.try`` event --
+    per page, not per object, so tracing granularity never enters the
+    inner loops.  Answers and counters are untouched: the wrapper only
+    reads counter deltas around the unmodified engine call.
+    """
+
+    def process_page_observed(
+        page: Page,
+        batch: list[PendingQuery],
+        dataset: Dataset,
+        space: MetricSpace,
+        matrix: Any,
+        counters: Counters,
+        **kwargs: Any,
+    ) -> None:
+        metrics = observer.metrics
+        tries_before = counters.avoidance_tries
+        avoided_before = counters.avoided_calculations
+        computed_before = counters.distance_calculations
+        with observer.phase(
+            "page.process", engine=name, page_id=page.page_id, batch=len(batch)
+        ):
+            process(page, batch, dataset, space, matrix, counters, **kwargs)
+        metrics.inc("pages.processed")
+        metrics.inc("page.queries_served", len(batch))
+        tries = counters.avoidance_tries - tries_before
+        if tries:
+            observer.event(
+                "avoidance.try",
+                engine=name,
+                page_id=page.page_id,
+                tries=tries,
+                avoided=counters.avoided_calculations - avoided_before,
+                computed=counters.distance_calculations - computed_before,
+            )
+
+    return process_page_observed
+
+
+def get_engine(name: str, observer: Any = None) -> Any:
+    """Resolve a page-processing engine by name.
+
+    With ``observer=None`` (the default) the raw engine function is
+    returned -- the uninstrumented hot path, byte-for-byte the code the
+    tests and benchmarks audit.  With an :class:`~repro.obs.Observer`
+    the engine is wrapped with per-page phase profiling and events.
+    """
     try:
-        return _ENGINES[name]
+        process = _ENGINES[name]
     except KeyError:
         known = ", ".join(sorted(_ENGINES))
         raise ValueError(f"unknown engine {name!r}; known: {known}") from None
+    if observer is None:
+        return process
+    return _instrument_engine(name, process, observer)

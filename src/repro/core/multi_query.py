@@ -232,6 +232,11 @@ class MultiQueryProcessor:
         avoidance lemmas effective from the first driver call.  Answers
         are unaffected.  Ignored for sequential access methods, whose
         streams are not distance-ranked.
+    observer:
+        Optional :class:`~repro.obs.Observer`.  Defaults to the
+        database's attached observer; when neither is set the processor
+        uses the raw (uninstrumented) engine functions and emits
+        nothing.  Observation never changes answers or counters.
     """
 
     def __init__(
@@ -245,6 +250,7 @@ class MultiQueryProcessor:
         use_lemma1: bool = True,
         use_lemma2: bool = True,
         matrix_mode: str = MATRIX_EAGER,
+        observer: Any = None,
     ):
         self.database = database
         self.access = database.access_method
@@ -255,7 +261,10 @@ class MultiQueryProcessor:
         if engine_name == ENGINE_VECTORIZED and not self.dataset.is_vector:
             raise ValueError("the vectorized engine requires a vector dataset")
         self.engine_name = engine_name
-        self._process_page = get_engine(engine_name)
+        self.observer = (
+            observer if observer is not None else getattr(database, "observer", None)
+        )
+        self._process_page = get_engine(engine_name, self.observer)
         self.use_avoidance = use_avoidance
         self.max_pivots = max_pivots
         self.use_lemma1 = use_lemma1
@@ -301,6 +310,13 @@ class MultiQueryProcessor:
             db_index=db_index,
         )
         self._pending[key] = pending
+        if self.observer is not None:
+            self.observer.event(
+                "query.admit",
+                slot=pending.slot,
+                kind=qtype.kind,
+                pending=len(self._pending),
+            )
         return pending
 
     def retire(self, key: Hashable) -> None:
@@ -464,6 +480,17 @@ class MultiQueryProcessor:
 
     def _drive(self, driver: PendingQuery, others: Sequence[PendingQuery]) -> None:
         """Complete ``driver``, collecting partial answers for ``others``."""
+        if self.observer is not None:
+            with self.observer.phase(
+                "query.drive", slot=driver.slot, others=len(others)
+            ):
+                self._drive_inner(driver, others)
+            return
+        self._drive_inner(driver, others)
+
+    def _drive_inner(
+        self, driver: PendingQuery, others: Sequence[PendingQuery]
+    ) -> None:
         stream = self.access.page_stream(driver.obj)
         counters = self.space.counters
         while True:
@@ -539,8 +566,9 @@ def run_in_blocks(
     qtypes = MultiQueryProcessor._broadcast_types(qtypes, len(query_objs))
     if len(qtypes) != len(query_objs):
         raise ValueError("need one query type per query object")
+    observer = getattr(database, "observer", None)
     results: list[list[Answer]] = []
-    for start in range(0, len(query_objs), block_size):
+    for block_index, start in enumerate(range(0, len(query_objs), block_size)):
         processor = MultiQueryProcessor(
             database,
             engine=engine,
@@ -554,7 +582,18 @@ def run_in_blocks(
         block_indices = (
             db_indices[start : start + block_size] if db_indices is not None else None
         )
-        results.extend(
-            processor.query_all(block_objs, block_types, db_indices=block_indices)
-        )
+        if observer is not None:
+            # One ``block.flush`` span per completed block: the moment
+            # the buffered partial answers of Fig. 4 are fully drained.
+            with observer.phase(
+                "block.flush", block=block_index, size=len(block_objs)
+            ):
+                block_results = processor.query_all(
+                    block_objs, block_types, db_indices=block_indices
+                )
+        else:
+            block_results = processor.query_all(
+                block_objs, block_types, db_indices=block_indices
+            )
+        results.extend(block_results)
     return results

@@ -88,6 +88,36 @@ class Counters:
         """Distance calculations including query-matrix initialisation."""
         return self.distance_calculations + self.query_matrix_distance_calculations
 
+    @property
+    def sharing_factor(self) -> float:
+        """Queries completed per physical page read (Sec. 5.1).
+
+        The I/O-sharing effectiveness of a multiple similarity query:
+        every page read for the driving query also serves the other
+        relevant queries of the batch, so a block of m queries drives
+        this toward m (exactly m for the linear scan, Sec. 5.1), while
+        one-at-a-time processing stays near its single-query baseline.
+        Returns 0.0 before any physical read.
+        """
+        reads = self.page_reads
+        if reads == 0:
+            return 0.0
+        return self.queries_completed / reads
+
+    @property
+    def avoidance_hit_rate(self) -> float:
+        """Fraction of candidate distance calculations avoided (Sec. 5.2).
+
+        ``avoided / (avoided + computed)``: of all object-query pairs
+        that reached the page engines, the share proven unnecessary by
+        the triangle-inequality Lemmas 1/2 before the distance function
+        ran.  Returns 0.0 when no candidate was evaluated.
+        """
+        candidates = self.avoided_calculations + self.distance_calculations
+        if candidates == 0:
+            return 0.0
+        return self.avoided_calculations / candidates
+
     def as_dict(self) -> dict[str, int]:
         """Return the counters as a plain dictionary."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -24,12 +24,14 @@ ACCESS_METHODS = ("scan", "xtree")
 
 _dataset_cache: dict[tuple, object] = {}
 _sweep_cache: dict[tuple, dict] = {}
+_sweep_metrics_cache: dict[tuple, dict] = {}
 
 
 def clear_caches() -> None:
     """Drop all cached datasets and sweeps (test isolation)."""
     _dataset_cache.clear()
     _sweep_cache.clear()
+    _sweep_metrics_cache.clear()
 
 
 def get_dataset(name: str, config: ExperimentConfig):
@@ -133,6 +135,7 @@ def sweep(name: str, access: str, config: ExperimentConfig) -> dict[int, CostPoi
     qtype = knn_query(dataset_k(name, config))
     warm = access != "scan"
     points: dict[int, CostPoint] = {}
+    sidecar: dict[int, dict] = {}
     for m in config.m_values:
         database.cold()
         with database.measure() as handle:
@@ -149,5 +152,36 @@ def sweep(name: str, access: str, config: ExperimentConfig) -> dict[int, CostPoi
             io_seconds=handle.io_seconds / n,
             cpu_seconds=handle.cpu_seconds / n,
         )
+        counters = handle.counters
+        sidecar[m] = {
+            "m": m,
+            "io_seconds_per_query": points[m].io_seconds,
+            "cpu_seconds_per_query": points[m].cpu_seconds,
+            "page_reads": counters.page_reads,
+            "buffer_hits": counters.buffer_hits,
+            "distance_calculations": counters.distance_calculations,
+            "avoided_calculations": counters.avoided_calculations,
+            "avoidance_tries": counters.avoidance_tries,
+            "queries_completed": counters.queries_completed,
+            "sharing_factor": counters.sharing_factor,
+            "avoidance_hit_rate": counters.avoidance_hit_rate,
+        }
     _sweep_cache[key] = points
+    _sweep_metrics_cache[key] = sidecar
     return points
+
+
+def sweep_metrics(name: str, access: str, config: ExperimentConfig) -> dict[int, dict]:
+    """Per-point metrics sidecar of one figure sweep.
+
+    For every block size m of :func:`sweep`, the Sec. 5.1/5.2
+    effectiveness metrics measured over the whole M-query workload:
+    sharing factor (queries completed per physical page read), avoidance
+    hit-rate, and the raw counter totals they derive from.  Computed
+    alongside the sweep and cached with it; ``run_all --metrics-out``
+    writes the union for all figure sweeps as one JSON file.
+    """
+    key = (name, access, config)
+    if key not in _sweep_metrics_cache:
+        sweep(name, access, config)
+    return _sweep_metrics_cache[key]

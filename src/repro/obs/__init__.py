@@ -1,0 +1,76 @@
+"""Structured observability for the multi-query pipeline.
+
+The paper's argument (Sec. 5-6) is entirely about *where* cost goes:
+pages read once but serving many queries, distance calculations avoided
+via Lemmas 1 and 2, servers finishing early or late.  This package turns
+those claims into live, per-run telemetry:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` -- counters, gauges and
+  latency histograms, plus *collectors* that publish the existing
+  :class:`~repro.costmodel.Counters` (via
+  :class:`~repro.obs.metrics.CountersAdapter`) without touching its hot
+  increment paths;
+* :class:`~repro.obs.tracing.Tracer` -- lightweight spans and events
+  (``query.admit``, ``page.process``, ``avoidance.try``,
+  ``block.flush``, ``worker.run``) in a bounded in-memory ring buffer
+  with JSONL export, and a strict no-op fast path when disabled;
+* :class:`~repro.obs.observer.Observer` -- the bundle a
+  :class:`~repro.core.database.Database` (or
+  :class:`~repro.parallel.executor.ParallelDatabase`) attaches to; the
+  page engines, the multiple-query processor, the buffer pool and the
+  parallel backends all report through it.
+
+Nothing here runs unless an observer is attached: every instrumentation
+site is guarded by an ``observer is None`` check, and with no observer
+the page engines are the exact uninstrumented functions, so the default
+path pays nothing.
+
+Quick start::
+
+    from repro import Database, knn_query
+    from repro.obs import Observer
+
+    obs = Observer()                      # tracing + metrics
+    db = Database(data, access="xtree", observer=obs)
+    db.multiple_similarity_query(queries, knn_query(10))
+    obs.write_trace("trace.jsonl")        # spans + events
+    obs.write_metrics("metrics.json")     # incl. sharing factor,
+                                          # avoidance hit-rate, phase
+                                          # latency histograms
+"""
+
+from repro.obs.metrics import (
+    CountersAdapter,
+    HistogramMetric,
+    MetricsRegistry,
+    attach_counters,
+)
+from repro.obs.observer import Observer
+from repro.obs.report import render_report, summarize_metrics, summarize_trace
+from repro.obs.tracing import (
+    EVENT_AVOIDANCE_TRY,
+    EVENT_BLOCK_FLUSH,
+    EVENT_PAGE_PROCESS,
+    EVENT_QUERY_ADMIT,
+    EVENT_WORKER_RUN,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "CountersAdapter",
+    "EVENT_AVOIDANCE_TRY",
+    "EVENT_BLOCK_FLUSH",
+    "EVENT_PAGE_PROCESS",
+    "EVENT_QUERY_ADMIT",
+    "EVENT_WORKER_RUN",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "Observer",
+    "Tracer",
+    "attach_counters",
+    "read_jsonl",
+    "render_report",
+    "summarize_metrics",
+    "summarize_trace",
+]

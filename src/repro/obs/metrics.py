@@ -1,0 +1,242 @@
+"""Metrics registry: counters, gauges, latency histograms, collectors.
+
+The registry is the *reporting* half of the observability layer.  It
+deliberately does not replace :class:`repro.costmodel.Counters` -- the
+paper's cost accounting stays a dataclass of plain ints incremented on
+the hot paths -- but subsumes it: a :class:`CountersAdapter` registered
+as a snapshot-time collector publishes every counter field plus the
+derived sharing/avoidance rates under stable metric names (see
+``docs/observability.md`` for the full name catalogue).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from typing import Any, Callable, Mapping
+
+from repro.costmodel import Counters
+
+#: Default latency bucket upper bounds: 1 us .. ~316 s in half-decade
+#: steps.  Page processing sits around 10 us - 10 ms; whole blocks and
+#: figure sweeps reach seconds.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(
+    1e-6 * 10 ** (k / 2) for k in range(18)
+)
+
+
+class CounterMetric:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class GaugeMetric:
+    """Last-value-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class HistogramMetric:
+    """Fixed-bucket latency histogram with quantile estimation.
+
+    Buckets are defined by ascending upper bounds; an observation lands
+    in the first bucket whose bound is >= the value (values beyond the
+    last bound land in an implicit overflow bucket).  Quantiles are
+    estimated as the upper bound of the bucket where the cumulative
+    count crosses the requested rank -- coarse, but monotone and cheap,
+    which is all a phase profile needs.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (upper bound of the covering bucket)."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank and n:
+                if i < len(self.bounds):
+                    return min(self.bounds[i], self.max)
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready summary (only non-empty buckets are listed)."""
+        buckets = {}
+        for i, n in enumerate(self.counts):
+            if n:
+                le = self.bounds[i] if i < len(self.bounds) else math.inf
+                buckets[f"{le:.3g}"] = n
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus snapshot-time collectors.
+
+    Collectors are zero-argument callables returning a flat
+    ``name -> number`` mapping, evaluated only when :meth:`snapshot` is
+    called; they are how always-on state (cost counters, buffer pools)
+    is published without any write-path coupling.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CounterMetric] = {}
+        self._gauges: dict[str, GaugeMetric] = {}
+        self._histograms: dict[str, HistogramMetric] = {}
+        self._collectors: list[Callable[[], Mapping[str, float]]] = []
+
+    # -- creation / lookup ---------------------------------------------
+
+    def counter(self, name: str) -> CounterMetric:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = CounterMetric(name)
+        return metric
+
+    def gauge(self, name: str) -> GaugeMetric:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = GaugeMetric(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> HistogramMetric:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = HistogramMetric(name, bounds)
+        return metric
+
+    # -- convenience write paths ---------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def register_collector(
+        self, collector: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Add a snapshot-time source of ``name -> number`` values."""
+        self._collectors.append(collector)
+
+    # -- output --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-ready view of every metric and collector."""
+        collected: dict[str, float] = {}
+        for collector in self._collectors:
+            collected.update(collector())
+        return {
+            "counters": {n: m.value for n, m in sorted(self._counters.items())},
+            "gauges": {n: m.value for n, m in sorted(self._gauges.items())},
+            "histograms": {
+                n: m.snapshot() for n, m in sorted(self._histograms.items())
+            },
+            "collected": dict(sorted(collected.items())),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`snapshot` to ``path`` as indented JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, default=_json_default)
+            handle.write("\n")
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    raise TypeError(f"not JSON serializable: {value!r}")
+
+
+class CountersAdapter:
+    """Publish a :class:`~repro.costmodel.Counters` into a registry.
+
+    The adapter reads the dataclass only at snapshot time, so the
+    existing counters keep their exact semantics and hot-path cost
+    (plain int increments); every existing test of ``Counters`` is
+    untouched.  Each field appears as ``cost.<field>``; the derived
+    Sec. 5.1/5.2 effectiveness ratios appear under ``derived.``.
+    """
+
+    def __init__(self, counters: Counters, prefix: str = "cost."):
+        self.counters = counters
+        self.prefix = prefix
+
+    def collect(self) -> dict[str, float]:
+        counters = self.counters
+        prefix = self.prefix
+        out: dict[str, float] = {
+            prefix + name: value for name, value in counters.as_dict().items()
+        }
+        out[prefix + "page_reads"] = counters.page_reads
+        out[prefix + "total_distance_calculations"] = (
+            counters.total_distance_calculations
+        )
+        out["derived.sharing_factor"] = counters.sharing_factor
+        out["derived.avoidance_hit_rate"] = counters.avoidance_hit_rate
+        return out
+
+
+def attach_counters(
+    registry: MetricsRegistry, counters: Counters, prefix: str = "cost."
+) -> CountersAdapter:
+    """Register a :class:`CountersAdapter` as a snapshot collector."""
+    adapter = CountersAdapter(counters, prefix)
+    registry.register_collector(adapter.collect)
+    return adapter

@@ -1,0 +1,104 @@
+"""The Observer: one metrics registry + one tracer per run.
+
+An :class:`Observer` is the handle the pipeline components report
+through.  It is *opt-in*: a :class:`~repro.core.database.Database`
+without an attached observer runs the exact uninstrumented code (the
+page engines are resolved to the raw functions), so the default path
+pays nothing.  With an observer attached, every phase is timed into a
+latency histogram and (when tracing is enabled) recorded as a span.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import DEFAULT_TRACE_CAPACITY, Tracer
+
+
+class _PhaseTimer:
+    """Times one phase into ``phase.<name>.seconds`` plus a span."""
+
+    __slots__ = ("_observer", "_name", "_span", "_start")
+
+    def __init__(self, observer: "Observer", name: str, attrs: dict[str, Any]):
+        self._observer = observer
+        self._name = name
+        self._span = observer.tracer.span(name, **attrs)
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._observer.metrics.observe(f"phase.{self._name}.seconds", elapsed)
+        self._span.__exit__(*exc_info)
+
+
+class Observer:
+    """Bundle of a :class:`MetricsRegistry` and a :class:`Tracer`.
+
+    Parameters
+    ----------
+    trace:
+        Whether to record spans/events.  With ``False`` the tracer's
+        no-op fast path is taken everywhere and only metrics (phase
+        histograms, event counters, collectors) are gathered.
+    trace_capacity:
+        Ring-buffer size of the tracer (oldest entries are dropped
+        beyond this; drops are counted in the snapshot).
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(capacity=trace_capacity, enabled=trace)
+        )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Count an event and (when tracing) record it with attributes."""
+        self.metrics.inc(f"events.{name}")
+        self.tracer.event(name, **attrs)
+
+    def phase(self, name: str, **attrs: Any) -> _PhaseTimer:
+        """Context manager: histogram ``phase.<name>.seconds`` + span."""
+        return _PhaseTimer(self, name, attrs)
+
+    # -- output --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Metrics snapshot plus tracer buffer statistics."""
+        snapshot = self.metrics.snapshot()
+        snapshot["trace"] = {
+            "enabled": self.tracer.enabled,
+            "buffered": len(self.tracer),
+            "emitted": self.tracer.n_emitted,
+            "dropped": self.tracer.n_dropped,
+            "capacity": self.tracer.capacity,
+        }
+        return snapshot
+
+    def write_metrics(self, path: str) -> None:
+        """Write the metrics snapshot (incl. trace stats) as JSON."""
+        import json
+
+        from repro.obs.metrics import _json_default
+
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, default=_json_default)
+            handle.write("\n")
+
+    def write_trace(self, path: str) -> int:
+        """Write the trace ring buffer as JSONL; returns entry count."""
+        return self.tracer.export_jsonl(path)

@@ -1,0 +1,137 @@
+"""Pretty-printed run summaries from metrics snapshots and traces.
+
+Powers the ``repro report`` CLI subcommand: given the JSON written by
+:meth:`~repro.obs.observer.Observer.write_metrics` (and optionally the
+JSONL trace), render the headline sharing/avoidance figures, the
+per-phase latency table and the event counts as aligned text.
+
+Reading a sharing-factor report: ``derived.sharing_factor`` is queries
+completed per physical page read (Sec. 5.1) -- 1.0 means every page
+read served exactly one query (no I/O sharing, the single-query
+regime); m means perfect sharing across a block of m queries.
+``derived.avoidance_hit_rate`` is the fraction of candidate distance
+calculations proven unnecessary by Lemmas 1/2 (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:8.3f} ms"
+    return f"{value * 1e6:8.1f} us"
+
+
+def _section(title: str) -> list[str]:
+    return [title, "-" * len(title)]
+
+
+def summarize_metrics(snapshot: dict[str, Any]) -> str:
+    """Render a metrics snapshot as an aligned text summary."""
+    collected = snapshot.get("collected", {})
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    lines = _section("run summary")
+
+    headline = [
+        ("queries completed", collected.get("cost.queries_completed")),
+        ("physical page reads", collected.get("cost.page_reads")),
+        ("buffer hit rate", collected.get("derived.buffer_hit_rate")),
+        ("sharing factor (queries/page read)", collected.get("derived.sharing_factor")),
+        ("distance calculations", collected.get("cost.distance_calculations")),
+        ("avoided calculations", collected.get("cost.avoided_calculations")),
+        ("avoidance hit rate", collected.get("derived.avoidance_hit_rate")),
+    ]
+    for label, value in headline:
+        if value is None:
+            continue
+        if isinstance(value, float):
+            lines.append(f"  {label:<36}{value:12.4f}")
+        else:
+            lines.append(f"  {label:<36}{value:12,}")
+    for name, value in gauges.items():
+        lines.append(f"  {name:<36}{value:12.4f}")
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.extend(_section("phase latencies"))
+        lines.append(
+            f"  {'phase':<28}{'count':>8}{'total':>12}{'mean':>12}"
+            f"{'p50':>12}{'p95':>12}{'max':>12}"
+        )
+        for name, h in histograms.items():
+            label = name
+            if label.startswith("phase.") and label.endswith(".seconds"):
+                label = label[len("phase."):-len(".seconds")]
+            lines.append(
+                f"  {label:<28}{h['count']:>8}"
+                f"{_fmt_seconds(h['sum']):>12}{_fmt_seconds(h['mean']):>12}"
+                f"{_fmt_seconds(h['p50']):>12}{_fmt_seconds(h['p95']):>12}"
+                f"{_fmt_seconds(h['max']):>12}"
+            )
+
+    events = {
+        name[len("events."):]: value
+        for name, value in counters.items()
+        if name.startswith("events.")
+    }
+    if events:
+        lines.append("")
+        lines.extend(_section("events"))
+        for name, value in sorted(events.items()):
+            lines.append(f"  {name:<28}{value:>10,}")
+
+    trace = snapshot.get("trace")
+    if trace:
+        lines.append("")
+        lines.extend(_section("trace buffer"))
+        lines.append(
+            f"  enabled={trace['enabled']}  buffered={trace['buffered']:,}"
+            f"  emitted={trace['emitted']:,}  dropped={trace['dropped']:,}"
+            f"  capacity={trace['capacity']:,}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_trace(records: Iterable[dict[str, Any]], top: int = 5) -> str:
+    """Render a parsed JSONL trace: entry counts and slowest spans."""
+    records = list(records)
+    by_name: dict[str, int] = {}
+    spans = []
+    for record in records:
+        by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+        if record.get("kind") == "span":
+            spans.append(record)
+    lines = _section(f"trace ({len(records):,} entries)")
+    for name, count in sorted(by_name.items()):
+        lines.append(f"  {name:<28}{count:>10,}")
+    if spans:
+        spans.sort(key=lambda r: r.get("dur_s", 0.0), reverse=True)
+        lines.append("")
+        lines.extend(_section(f"slowest {min(top, len(spans))} spans"))
+        for span in spans[:top]:
+            attrs = span.get("attrs", {})
+            attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
+            lines.append(
+                f"  {span['name']:<16}{_fmt_seconds(span['dur_s']):>12}"
+                f"  depth={span['depth']}  {attr_text}"
+            )
+    return "\n".join(lines)
+
+
+def render_report(
+    metrics: dict[str, Any] | None,
+    trace_records: Iterable[dict[str, Any]] | None = None,
+) -> str:
+    """Combine metrics and trace summaries into one report."""
+    parts = []
+    if metrics is not None:
+        parts.append(summarize_metrics(metrics))
+    if trace_records is not None:
+        parts.append(summarize_trace(trace_records))
+    return "\n\n".join(parts)

@@ -1,0 +1,176 @@
+"""Lightweight tracing: spans and events in a bounded ring buffer.
+
+A :class:`Tracer` records two kinds of entries:
+
+* **events** -- point-in-time records (``query.admit``,
+  ``avoidance.try``, ``worker.run``) with free-form attributes;
+* **spans** -- timed, nestable records (``page.process``,
+  ``block.flush``, ``query.drive``) carrying a duration, a span id and
+  the id of the enclosing span, so per-page costs can be attributed to
+  the block and driver query that caused them.
+
+Entries live in a bounded in-memory ring buffer (oldest entries are
+dropped once ``capacity`` is reached; drops are counted, never silent)
+and export as JSON Lines, one entry per line.  When the tracer is
+disabled every entry point returns immediately -- ``event`` is a single
+attribute check, ``span`` hands out a shared no-op context manager --
+so instrumented code paths stay cheap even when an observer is attached
+purely for metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable
+
+EVENT_QUERY_ADMIT = "query.admit"
+EVENT_PAGE_PROCESS = "page.process"
+EVENT_AVOIDANCE_TRY = "avoidance.try"
+EVENT_BLOCK_FLUSH = "block.flush"
+EVENT_WORKER_RUN = "worker.run"
+EVENT_QUERY_DRIVE = "query.drive"
+
+DEFAULT_TRACE_CAPACITY = 65_536
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._stack.pop()
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "ts": self._start - tracer._epoch,
+            "dur_s": end - self._start,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": len(tracer._stack),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        tracer._record(record)
+
+
+class Tracer:
+    """Bounded ring buffer of spans and events with JSONL export."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._clock = clock
+        self._epoch = clock()
+        self._events: deque[dict[str, Any]] = deque()
+        self._stack: list[int] = []
+        self._next_id = 1
+        self.n_emitted = 0
+        self.n_dropped = 0
+
+    # -- recording -----------------------------------------------------
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record: dict[str, Any] = {
+            "kind": "event",
+            "name": name,
+            "ts": self._clock() - self._epoch,
+        }
+        if self._stack:
+            record["parent_id"] = self._stack[-1]
+        if attrs:
+            record["attrs"] = attrs
+        self._record(record)
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Context manager timing a nested span (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _record(self, record: dict[str, Any]) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.n_dropped += 1
+        self._events.append(record)
+        self.n_emitted += 1
+
+    # -- access / export -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def records(self) -> list[dict[str, Any]]:
+        """The buffered entries, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop every buffered entry (drop/emit statistics persist)."""
+        self._events.clear()
+
+    def to_jsonl(self) -> str:
+        """Render the buffer as JSON Lines (one entry per line)."""
+        return "".join(
+            json.dumps(record, default=str) + "\n" for record in self._events
+        )
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the buffer to ``path`` as JSONL; returns entry count."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return len(self._events)
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a trace file written by :meth:`Tracer.export_jsonl`."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -140,6 +140,36 @@ class ParallelRun:
             )
         return max(self.wall_seconds)
 
+    @property
+    def skew(self) -> float:
+        """Per-server load imbalance: slowest / mean modelled seconds.
+
+        1.0 means perfectly balanced servers; the parallel speed-up of
+        Sec. 5.3 degrades by exactly this factor, since elapsed time is
+        the slowest server while work is the sum.  Returns 1.0 when no
+        server did measurable work.
+        """
+        return _skew([run.total_seconds for run in self.per_server])
+
+    @property
+    def wall_skew(self) -> float:
+        """Measured wall-clock skew (``backend="process"`` only)."""
+        if self.wall_seconds is None:
+            raise ValueError(
+                "wall-clock times are only measured with backend='process'"
+            )
+        return _skew(self.wall_seconds)
+
+
+def _skew(values: Sequence[float]) -> float:
+    """max/mean of per-server times; 1.0 for empty or all-zero input."""
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean <= 0.0:
+        return 1.0
+    return max(values) / mean
+
 
 def _slice_dataset(dataset: Dataset, indices: np.ndarray) -> Dataset:
     labels = dataset.labels[indices] if dataset.labels is not None else None
@@ -307,8 +337,12 @@ class ParallelDatabase:
         buffer_fraction: float = 0.1,
         engine: str = "auto",
         index_options: dict[str, Any] | None = None,
+        observer: Any = None,
     ):
         self.dataset = as_dataset(data)
+        #: Optional :class:`~repro.obs.Observer`: per-server ``worker.run``
+        #: events, modelled/wall latency histograms and the skew gauge.
+        self.observer = observer
         try:
             strategy = DECLUSTER_STRATEGIES[decluster]
         except KeyError:
@@ -521,9 +555,42 @@ class ParallelDatabase:
             )
             for q in range(len(query_objs))
         ]
-        return ParallelRun(
+        run = ParallelRun(
             answers=merged, per_server=per_server_runs, wall_seconds=wall_seconds
         )
+        if self.observer is not None:
+            self._observe_run(run, backend)
+        return run
+
+    def _observe_run(self, run: ParallelRun, backend: str) -> None:
+        """Report one parallel query to the attached observer.
+
+        Emits one ``worker.run`` event per server (modelled seconds,
+        counters headline, measured wall seconds on the process
+        backend), feeds the per-server latency histograms, and sets the
+        skew gauges -- the per-server imbalance the Sec. 5.3 speed-up
+        divides by.
+        """
+        observer = self.observer
+        for s, server_run in enumerate(run.per_server):
+            attrs: dict[str, Any] = {
+                "server": s,
+                "backend": backend,
+                "modelled_seconds": server_run.total_seconds,
+                "page_reads": server_run.counters.page_reads,
+                "distance_calculations": server_run.counters.distance_calculations,
+                "queries_completed": server_run.counters.queries_completed,
+            }
+            observer.metrics.observe(
+                "server.modelled_seconds", server_run.total_seconds
+            )
+            if run.wall_seconds is not None:
+                attrs["wall_seconds"] = run.wall_seconds[s]
+                observer.metrics.observe("server.wall_seconds", run.wall_seconds[s])
+            observer.event("worker.run", **attrs)
+        observer.metrics.set_gauge("parallel.skew", run.skew)
+        if run.wall_seconds is not None:
+            observer.metrics.set_gauge("parallel.wall_skew", run.wall_skew)
 
     def _run_block_process(
         self,

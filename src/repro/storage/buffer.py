@@ -22,11 +22,31 @@ class LRUBufferPool:
         self.capacity_blocks = capacity_blocks
         self._pages: OrderedDict[int, int] = OrderedDict()
         self._used_blocks = 0
+        #: Lifetime page lookups (one per :meth:`access` call, counted
+        #: per request -- unlike ``Counters.buffer_hits``, which charges
+        #: per *block* for multi-block supernodes).
+        self.lookups = 0
+        #: Lifetime lookups satisfied without physical I/O.
+        self.hits = 0
 
     @property
     def used_blocks(self) -> int:
         """Blocks currently occupied by buffered pages."""
         return self._used_blocks
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page lookups served from the pool (hits/lookups).
+
+        The I/O-sharing argument of Sec. 5.1 shows up here directly: a
+        multiple similarity query turns the re-reads that single queries
+        would pay into buffer hits (or avoids them entirely via the
+        per-batch page stream), so batched workloads push this rate up
+        at equal buffer capacity.  Returns 0.0 before any lookup.
+        """
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -40,8 +60,10 @@ class LRUBufferPool:
         On a miss the page is admitted (when it fits at all) and the
         least-recently-used pages are evicted to make room.
         """
+        self.lookups += 1
         if page_id in self._pages:
             self._pages.move_to_end(page_id)
+            self.hits += 1
             return True
         self._admit(page_id, n_blocks)
         return False

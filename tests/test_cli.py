@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -12,6 +14,13 @@ class TestCli:
         assert "repro" in out
         assert "ICDE 2000" in out
         assert "xtree" in out
+
+    def test_info_engines_derived_from_registry(self, capsys):
+        from repro.core.engine import engine_names
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert f"engines: {', '.join(engine_names())}" in out
 
     def test_demo_small(self, capsys):
         assert main(["demo", "--objects", "1500", "--queries", "8"]) == 0
@@ -30,6 +39,58 @@ class TestCli:
         out = capsys.readouterr().out
         assert "distance calculation" in out
         assert "ratio" in out
+
+    def test_demo_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            [
+                "demo",
+                "--objects", "1200",
+                "--queries", "6",
+                "--trace", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace entries" in out
+        assert "metrics snapshot" in out
+        # Trace is valid JSONL with the documented event names.
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records
+        names = {r["name"] for r in records}
+        assert "query.admit" in names
+        assert "page.process" in names
+        # Metrics snapshot carries the Sec. 5.1/5.2 headline metrics.
+        snapshot = json.load(open(metrics))
+        assert "derived.sharing_factor" in snapshot["collected"]
+        assert "derived.avoidance_hit_rate" in snapshot["collected"]
+        assert any(
+            name.startswith("phase.") for name in snapshot["histograms"]
+        )
+
+    def test_report_renders_summary(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        main(
+            [
+                "demo",
+                "--objects", "1000",
+                "--queries", "5",
+                "--trace", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", str(metrics), "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+        assert "sharing factor" in out
+        assert "phase latencies" in out
+        assert "slowest" in out
+
+    def test_report_requires_input(self, capsys):
+        assert main(["report"]) == 2
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

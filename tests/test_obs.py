@@ -1,0 +1,356 @@
+"""Tests for the structured observability layer (repro.obs)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.database import Database
+from repro.core.engine import engine_names, get_engine
+from repro.core.types import knn_query, range_query
+from repro.costmodel import Counters
+from repro.obs import (
+    CountersAdapter,
+    MetricsRegistry,
+    Observer,
+    Tracer,
+    attach_counters,
+    read_jsonl,
+    render_report,
+    summarize_metrics,
+    summarize_trace,
+)
+from repro.parallel.executor import ParallelDatabase, ParallelRun
+from repro.storage.buffer import LRUBufferPool
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return np.random.default_rng(7).random((900, 8))
+
+
+def _answers_as_tuples(results):
+    return [[(a.index, a.distance) for a in result] for result in results]
+
+
+def _run_blocks(database, vectors, n_queries=18, block=6):
+    queries = [vectors[i] for i in range(n_queries)]
+    return database.run_in_blocks(
+        queries,
+        knn_query(5),
+        block_size=block,
+        db_indices=list(range(n_queries)),
+        warm_start=True,
+    )
+
+
+class TestTracer:
+    def test_span_nesting_records_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("block.flush", block=0):
+            with tracer.span("query.drive"):
+                with tracer.span("page.process", page_id=3):
+                    tracer.event("avoidance.try", tries=4)
+        records = tracer.records()
+        # Spans are recorded at exit: innermost first, event before all.
+        by_name = {r["name"]: r for r in records}
+        event = by_name["avoidance.try"]
+        page = by_name["page.process"]
+        drive = by_name["query.drive"]
+        block = by_name["block.flush"]
+        assert event["parent_id"] == page["span_id"]
+        assert page["parent_id"] == drive["span_id"]
+        assert drive["parent_id"] == block["span_id"]
+        assert block["parent_id"] is None
+        assert (block["depth"], drive["depth"], page["depth"]) == (0, 1, 2)
+        assert all(r["dur_s"] >= 0 for r in records if r["kind"] == "span")
+
+    def test_ring_buffer_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.event("e", i=i)
+        assert len(tracer) == 4
+        assert tracer.n_emitted == 10
+        assert tracer.n_dropped == 6
+        kept = [r["attrs"]["i"] for r in tracer.records()]
+        assert kept == [6, 7, 8, 9]
+
+    def test_disabled_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("query.admit", slot=1)
+        with tracer.span("page.process") as span:
+            pass
+        assert len(tracer) == 0
+        assert tracer.n_emitted == 0
+        # The disabled fast path hands out one shared null span.
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("block.flush", size=3):
+            tracer.event("query.admit", slot=0, kind="range")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 2
+        parsed = read_jsonl(str(path))
+        assert parsed == json.loads(
+            "[" + ",".join(json.dumps(r) for r in tracer.records()) + "]"
+        )
+        assert {r["name"] for r in parsed} == {"block.flush", "query.admit"}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_counter_gauge_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("events.query.admit", 3)
+        registry.set_gauge("parallel.skew", 1.25)
+        for value in (1e-5, 2e-5, 4e-3, 0.5):
+            registry.observe("phase.page.process.seconds", value)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["events.query.admit"] == 3
+        assert snapshot["gauges"]["parallel.skew"] == 1.25
+        hist = snapshot["histograms"]["phase.page.process.seconds"]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(0.50403)
+        assert hist["min"] == pytest.approx(1e-5)
+        assert hist["max"] == pytest.approx(0.5)
+        assert hist["p50"] <= hist["p95"] <= hist["max"]
+        assert sum(hist["buckets"].values()) == 4
+
+    def test_histogram_quantiles_monotone(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        for value in np.linspace(1e-6, 1.0, 200):
+            h.observe(float(value))
+        assert h.quantile(0.1) <= h.quantile(0.5) <= h.quantile(0.99) <= h.max
+        assert h.mean == pytest.approx(h.sum / h.count)
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_collectors_merged_at_snapshot(self):
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: {"x": 1.0})
+        registry.register_collector(lambda: {"y": 2.0})
+        assert registry.snapshot()["collected"] == {"x": 1.0, "y": 2.0}
+
+    def test_counters_adapter_publishes_all_fields(self):
+        counters = Counters(
+            random_page_reads=10,
+            sequential_page_reads=5,
+            distance_calculations=90,
+            avoided_calculations=10,
+            queries_completed=30,
+        )
+        registry = MetricsRegistry()
+        attach_counters(registry, counters)
+        collected = registry.snapshot()["collected"]
+        for name in counters.as_dict():
+            assert collected[f"cost.{name}"] == getattr(counters, name)
+        assert collected["cost.page_reads"] == 15
+        assert collected["derived.sharing_factor"] == pytest.approx(2.0)
+        assert collected["derived.avoidance_hit_rate"] == pytest.approx(0.1)
+
+    def test_adapter_reads_live_values(self):
+        counters = Counters()
+        adapter = CountersAdapter(counters)
+        assert adapter.collect()["cost.distance_calculations"] == 0
+        counters.distance_calculations += 7
+        assert adapter.collect()["cost.distance_calculations"] == 7
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.observe("h", math.inf)  # inf must serialise, not crash
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        assert json.load(open(path))["histograms"]["h"]["count"] == 1
+
+
+class TestDerivedCounterProperties:
+    def test_sharing_factor(self):
+        counters = Counters()
+        assert counters.sharing_factor == 0.0
+        counters.random_page_reads = 4
+        counters.queries_completed = 12
+        assert counters.sharing_factor == pytest.approx(3.0)
+
+    def test_avoidance_hit_rate(self):
+        counters = Counters()
+        assert counters.avoidance_hit_rate == 0.0
+        counters.distance_calculations = 75
+        counters.avoided_calculations = 25
+        assert counters.avoidance_hit_rate == pytest.approx(0.25)
+
+
+class TestBufferHitRate:
+    def test_hit_rate_counts_lookups(self):
+        pool = LRUBufferPool(4)
+        assert pool.hit_rate == 0.0
+        assert pool.access(1) is False
+        assert pool.access(1) is True
+        assert pool.access(2) is False
+        assert pool.lookups == 3
+        assert pool.hits == 1
+        assert pool.hit_rate == pytest.approx(1 / 3)
+
+    def test_zero_capacity_pool_still_counts(self):
+        pool = LRUBufferPool(0)
+        pool.access(1)
+        pool.access(1)
+        assert pool.lookups == 2
+        assert pool.hits == 0
+        assert pool.hit_rate == 0.0
+
+
+class TestEngineRegistry:
+    def test_engine_names_match_registry(self):
+        names = engine_names()
+        assert names == ["reference", "vectorized", "batched"]
+        for name in names:
+            assert callable(get_engine(name))
+
+    def test_get_engine_without_observer_is_raw(self):
+        from repro.core.engine import process_page_batched
+
+        assert get_engine("batched") is process_page_batched
+
+    def test_get_engine_with_observer_wraps(self):
+        observer = Observer(trace=False)
+        wrapped = get_engine("batched", observer)
+        from repro.core.engine import process_page_batched
+
+        assert wrapped is not process_page_batched
+
+
+class TestObservedRunsAreEquivalent:
+    @pytest.mark.parametrize("engine", ["reference", "vectorized", "batched"])
+    def test_traced_run_identical_answers_and_counters(self, vectors, engine):
+        plain = Database(vectors, access="xtree", engine=engine)
+        expected = _answers_as_tuples(_run_blocks(plain, vectors))
+
+        observer = Observer()
+        traced = Database(vectors, access="xtree", engine=engine, observer=observer)
+        got = _answers_as_tuples(_run_blocks(traced, vectors))
+
+        assert got == expected
+        assert traced.counters.as_dict() == plain.counters.as_dict()
+        # ... and the run was actually observed.
+        snapshot = observer.snapshot()
+        assert snapshot["counters"]["pages.processed"] > 0
+        assert snapshot["counters"]["events.query.admit"] == 18
+        assert len(observer.tracer) > 0
+
+    def test_disabled_tracing_is_noop_with_no_counter_drift(self, vectors):
+        plain = Database(vectors, access="xtree")
+        _run_blocks(plain, vectors)
+
+        observer = Observer(trace=False)
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+
+        # Zero trace entries, zero drift in the paper's cost counters.
+        assert len(observer.tracer) == 0
+        assert observer.tracer.n_emitted == 0
+        assert database.counters.as_dict() == plain.counters.as_dict()
+        # Metrics (phase histograms) are still gathered.
+        assert observer.metrics.histogram("phase.page.process.seconds").count > 0
+
+    def test_range_queries_observed(self, vectors):
+        observer = Observer()
+        database = Database(vectors, access="scan", observer=observer)
+        processor = database.processor()
+        answers = processor.process([vectors[0]], [range_query(0.4)])
+        assert answers
+        names = {r["name"] for r in observer.tracer.records()}
+        assert "query.admit" in names
+        assert "page.process" in names
+
+    def test_trace_has_expected_span_structure(self, vectors):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        records = observer.tracer.records()
+        spans = {r["name"] for r in records if r["kind"] == "span"}
+        assert {"block.flush", "query.drive", "page.process"} <= spans
+        # Every page.process span nests under a parent span.
+        pages = [
+            r for r in records if r["kind"] == "span" and r["name"] == "page.process"
+        ]
+        assert pages and all(r["parent_id"] is not None for r in pages)
+
+    def test_metrics_snapshot_has_required_derived_metrics(self, vectors):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        snapshot = observer.snapshot()
+        collected = snapshot["collected"]
+        assert collected["derived.sharing_factor"] == pytest.approx(
+            database.counters.sharing_factor
+        )
+        assert collected["derived.avoidance_hit_rate"] == pytest.approx(
+            database.counters.avoidance_hit_rate
+        )
+        assert collected["derived.buffer_hit_rate"] == pytest.approx(
+            database.disk.buffer.hit_rate
+        )
+        assert "phase.page.process.seconds" in snapshot["histograms"]
+
+
+class TestParallelObservability:
+    def test_worker_run_events_and_skew(self, vectors):
+        observer = Observer()
+        cluster = ParallelDatabase(
+            vectors, n_servers=3, access="scan", observer=observer
+        )
+        queries = [vectors[i] for i in range(6)]
+        run = cluster.multiple_similarity_query(
+            queries, knn_query(4), db_indices=list(range(6))
+        )
+        assert run.skew >= 1.0
+        events = [
+            r for r in observer.tracer.records() if r["name"] == "worker.run"
+        ]
+        assert len(events) == 3
+        assert {e["attrs"]["server"] for e in events} == {0, 1, 2}
+        snapshot = observer.snapshot()
+        assert snapshot["gauges"]["parallel.skew"] == pytest.approx(run.skew)
+        assert snapshot["histograms"]["server.modelled_seconds"]["count"] == 3
+
+    def test_skew_properties(self):
+        assert ParallelRun(answers=[], per_server=[]).skew == 1.0
+        with pytest.raises(ValueError):
+            ParallelRun(answers=[], per_server=[]).wall_skew
+
+
+class TestReportRendering:
+    def test_render_report_from_real_run(self, vectors, tmp_path):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        observer.write_metrics(str(metrics_path))
+        observer.write_trace(str(trace_path))
+        text = render_report(
+            json.load(open(metrics_path)), read_jsonl(str(trace_path))
+        )
+        assert "sharing factor" in text
+        assert "phase latencies" in text
+        assert "page.process" in text
+        assert "slowest" in text
+
+    def test_summaries_handle_empty_input(self):
+        assert "run summary" in summarize_metrics({})
+        assert "trace (0 entries)" in summarize_trace([])

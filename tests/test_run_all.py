@@ -40,6 +40,29 @@ class TestRunAll:
         assert run_all(tiny_config, None) == 0
         assert "Figure 10" in capsys.readouterr().out
 
+    def test_metrics_sidecar(self, tiny_config, tmp_path, capsys):
+        import json
+
+        sidecar_path = tmp_path / "sweeps.json"
+        assert run_all(tiny_config, None, metrics_out=str(sidecar_path)) == 0
+        capsys.readouterr()
+        sidecar = json.loads(sidecar_path.read_text())
+        assert sidecar["config"]["astronomy_n"] == tiny_config.astronomy_n
+        # One entry per dataset x access method, one point per m value.
+        assert set(sidecar["sweeps"]) == {
+            "astronomy/scan", "astronomy/xtree", "image/scan", "image/xtree",
+        }
+        for sweep in sidecar["sweeps"].values():
+            assert set(sweep) == {str(m) for m in tiny_config.m_values}
+            for point in sweep.values():
+                assert point["sharing_factor"] > 0
+                assert 0 <= point["avoidance_hit_rate"] <= 1
+                assert point["page_reads"] > 0
+        # Scan I/O sharing (Sec. 5.1): page reads shrink ~m-fold.
+        scan = sidecar["sweeps"]["astronomy/scan"]
+        m_lo, m_hi = min(tiny_config.m_values), max(tiny_config.m_values)
+        assert scan[str(m_hi)]["page_reads"] < scan[str(m_lo)]["page_reads"]
+
 
 class TestMiningSpeedup:
     def test_speedups_with_identical_outputs(self, tiny_config):
