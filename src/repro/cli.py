@@ -7,6 +7,7 @@
     python -m repro calibrate [-d DIM]   # time dist/comparison on this machine
     python -m repro experiments [...]    # full evaluation (run_all)
     python -m repro report METRICS.json  # pretty-print an observability run
+    python -m repro bench --check        # perf-regression check vs. baselines
 
 ``demo`` and ``experiments`` accept ``--trace FILE`` (JSONL spans and
 events) and ``--metrics-out FILE`` (metrics snapshot: sharing factor,
@@ -132,6 +133,48 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs import regression
+
+    current: dict[str, dict] = {}
+    if args.suite == "quick":
+        current.update(
+            regression.run_quick_suite(
+                n_objects=args.objects, n_queries=args.queries
+            )
+        )
+    for path in args.import_bench:
+        current.update(regression.entries_from_bench_file(path))
+    if not current:
+        print("bench: nothing to run (--suite none and no --import-bench)",
+              file=sys.stderr)
+        return 2
+
+    if args.update or not os.path.exists(args.baseline):
+        regression.save_store(args.baseline, current)
+        print(f"wrote {len(current)} baseline entries to {args.baseline}")
+        return 0
+
+    baseline = regression.load_store(args.baseline)
+    report = regression.compare(
+        current,
+        baseline,
+        seconds_threshold=args.threshold,
+        counter_threshold=args.counter_threshold,
+    )
+    print(regression.render_comparison(report))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        print(f"wrote comparison report to {args.report}")
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.run_all import run_all
@@ -154,7 +197,11 @@ def main(argv: list[str] | None = None) -> int:
     demo = subparsers.add_parser("demo", help="single vs. multiple queries demo")
     demo.add_argument("--objects", type=int, default=15_000)
     demo.add_argument("--queries", type=int, default=60)
-    demo.add_argument("--access", default="xtree", choices=["scan", "xtree", "vafile"])
+    demo.add_argument(
+        "--access",
+        default="xtree",
+        choices=["scan", "xtree", "mtree", "rstar", "vafile"],
+    )
     from repro.core.engine import engine_names
 
     demo.add_argument(
@@ -208,6 +255,62 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", default=None, metavar="FILE", help="trace JSONL (from --trace)"
     )
     report.set_defaults(func=_cmd_report)
+
+    bench = subparsers.add_parser(
+        "bench", help="run benchmark suites and compare against baselines"
+    )
+    bench.add_argument(
+        "--suite",
+        default="quick",
+        choices=["quick", "none"],
+        help="benchmark suite to run ('none' with --import-bench only "
+        "converts existing BENCH_*.json results)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="benchmarks/baselines.json",
+        metavar="FILE",
+        help="baseline store to compare against (created if absent)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any benchmark regresses",
+    )
+    bench.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline store with this run's results",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative wall-clock slowdown tolerated (0.5 = 50%%)",
+    )
+    bench.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=0.0,
+        help="relative increase tolerated for deterministic cost counters",
+    )
+    bench.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the structured comparison report as JSON",
+    )
+    bench.add_argument(
+        "--import-bench",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also fold a BENCH_*.json result file into this run "
+        "(repeatable)",
+    )
+    bench.add_argument("--objects", type=int, default=2000)
+    bench.add_argument("--queries", type=int, default=24)
+    bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

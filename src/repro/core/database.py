@@ -36,6 +36,7 @@ from repro.index.mtree import MTree
 from repro.index.scan import LinearScan
 from repro.index.vafile import VAFile
 from repro.index.xtree import XTree
+from repro.index.rstar.tree import RStarTree
 from repro.metric.distances import DistanceFunction
 from repro.metric.space import MetricSpace
 from repro.storage.disk import SimulatedDisk
@@ -44,6 +45,7 @@ from repro.storage.page import DEFAULT_BLOCK_SIZE
 _ACCESS_METHODS = {
     "scan": LinearScan,
     "xtree": XTree,
+    "rstar": RStarTree,
     "mtree": MTree,
     "vafile": VAFile,
 }
@@ -117,7 +119,7 @@ class Database:
     metric:
         Distance-function name or instance (default Euclidean).
     access:
-        ``"scan"``, ``"xtree"``, ``"mtree"`` or ``"vafile"``.
+        ``"scan"``, ``"xtree"``, ``"rstar"``, ``"mtree"`` or ``"vafile"``.
     block_size:
         Disk block size in bytes (paper: 32 KB).
     buffer_fraction:
@@ -185,13 +187,15 @@ class Database:
 
         Registers the shared :class:`Counters` and the buffer pool as
         snapshot-time metric collectors and makes every processor
-        created from this database report phases, spans and events
-        through the observer.  Purely additive: answers and counters
-        are identical with and without an observer.
+        created from this database -- and every page stream opened by
+        the access method -- report phases, spans and events through
+        the observer.  Purely additive: answers and counters are
+        identical with and without an observer.
         """
         from repro.obs import attach_counters
 
         self.observer = observer
+        self.access_method.observer = observer
         attach_counters(observer.metrics, self.counters)
         observer.metrics.register_collector(self._buffer_stats)
         return observer

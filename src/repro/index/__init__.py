@@ -1,4 +1,4 @@
-"""Access methods: linear scan, X-tree, M-tree and VA-file.
+"""Access methods: linear scan, X-tree, R*-tree, M-tree and VA-file.
 
 Every access method implements the :class:`~repro.index.base.AccessMethod`
 interface consumed by the query engines:
@@ -16,5 +16,14 @@ from repro.index.mtree import MTree
 from repro.index.scan import LinearScan
 from repro.index.vafile import VAFile
 from repro.index.xtree import XTree
+from repro.index.rstar.tree import RStarTree  # after xtree: shares its machinery
 
-__all__ = ["AccessMethod", "LinearScan", "MTree", "PageStream", "VAFile", "XTree"]
+__all__ = [
+    "AccessMethod",
+    "LinearScan",
+    "MTree",
+    "PageStream",
+    "RStarTree",
+    "VAFile",
+    "XTree",
+]

@@ -12,6 +12,78 @@ from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 
 
+class TraversalTelemetry:
+    """Node-visit / subtree-prune accounting for one page stream.
+
+    Created only when the owning access method has an observer attached;
+    every emission site in the streams is guarded by an ``is not None``
+    check, so the unobserved fast path stays untouched.  Two events are
+    emitted (``index.node_visit`` per directory-node expansion or data
+    page delivery, ``index.prune`` per expansion that discarded at least
+    one subtree), aggregated per node -- telemetry never enters the
+    per-entry inner loops.  When the stream ends, the per-query gauge
+    ``index.prune_effectiveness`` reports the fraction of candidate
+    subtrees that were cut without being visited.
+    """
+
+    __slots__ = ("observer", "access", "visits", "pushed", "pruned", "closed")
+
+    def __init__(self, observer: Any, access: str):
+        self.observer = observer
+        self.access = access
+        self.visits = 0
+        self.pushed = 0
+        self.pruned = 0
+        self.closed = False
+
+    def node_visit(
+        self, level: int, entries: int, pushed: int, pruned: int, **attrs: Any
+    ) -> None:
+        """One expanded node: ``pushed`` kept, ``pruned`` cut subtrees."""
+        self.visits += 1
+        self.pushed += pushed
+        self.pruned += pruned
+        self.observer.event(
+            "index.node_visit",
+            access=self.access,
+            level=level,
+            entries=entries,
+            pushed=pushed,
+            pruned=pruned,
+            **attrs,
+        )
+        if pruned:
+            self.observer.event(
+                "index.prune", access=self.access, level=level, count=pruned
+            )
+
+    def finish(self, pending: int = 0, **attrs: Any) -> None:
+        """Stream exhausted; ``pending`` candidates were never visited.
+
+        ``pending`` covers the queue residue cut by the final radius
+        (level ``-1``: below whatever level each entry lived on).
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if pending:
+            self.pruned += pending
+            self.observer.event(
+                "index.prune",
+                access=self.access,
+                level=-1,
+                count=pending,
+                final=True,
+                **attrs,
+            )
+        total = self.pushed + self.pruned
+        metrics = self.observer.metrics
+        metrics.set_gauge(
+            "index.prune_effectiveness", self.pruned / total if total else 0.0
+        )
+        metrics.inc("index.subtrees_pruned", self.pruned)
+
+
 class PageStream:
     """Stream of candidate data pages for one query object.
 
@@ -73,7 +145,8 @@ class AccessMethod:
     and page lower bounds for the query engines.
     """
 
-    #: Registry name (``"scan"``, ``"xtree"``, ``"mtree"``, ``"vafile"``).
+    #: Registry name (``"scan"``, ``"xtree"``, ``"rstar"``, ``"mtree"``,
+    #: ``"vafile"``).
     name: str = "abstract"
 
     #: Whether reading this method's data pages in stream order is a
@@ -84,6 +157,16 @@ class AccessMethod:
         self.dataset = dataset
         self.space = space
         self.disk = disk
+        #: Optional :class:`~repro.obs.Observer`; set by
+        #: :meth:`repro.core.database.Database.attach_observer`.  ``None``
+        #: keeps every stream on the uninstrumented fast path.
+        self.observer: Any = None
+
+    def traversal_telemetry(self) -> TraversalTelemetry | None:
+        """Per-stream telemetry handle, or ``None`` without an observer."""
+        if self.observer is None:
+            return None
+        return TraversalTelemetry(self.observer, self.name)
 
     def data_pages(self) -> list[Page]:
         """All data pages in physical-address order."""

@@ -88,17 +88,22 @@ class _MTreeStream(PageStream):
         self._tree = tree
         self._query = query_obj
         self._counter = itertools.count()
-        self._heap: list[tuple[float, int, _MNode, float]] = []
+        self._heap: list[tuple[float, int, _MNode, float, int]] = []
+        self._telemetry = tree.traversal_telemetry()
         #: page id -> (driver distance to routing object, covering radius)
         self.routing_context: dict[int, tuple[float, float]] = {}
         root = tree.root
         if root is not None:
             if root.parent_entry is None:
                 # Root has no routing object; bound 0, parent distance NaN.
-                self._heap = [(0.0, next(self._counter), root, float("nan"))]
+                self._heap = [(0.0, next(self._counter), root, float("nan"), 0)]
 
-    def _push_children(self, node: _MNode, d_parent: float, radius: float) -> None:
+    def _push_children(
+        self, node: _MNode, d_parent: float, radius: float, level: int
+    ) -> tuple[int, int]:
+        """Expand ``node``; returns how many subtrees were kept / pruned."""
         tree = self._tree
+        pushed = pruned = 0
         for entry in node.entries:
             entry: _RoutingEntry
             # Cheap pre-test: |d(q, parent) - d(entry, parent)| - r_entry
@@ -109,24 +114,33 @@ class _MTreeStream(PageStream):
                 tree.space.counters.avoidance_tries += 1
                 if abs(d_parent - entry.dist_to_parent) - entry.radius > radius:
                     tree.space.counters.avoided_calculations += 1
+                    pruned += 1
                     continue
             d_routing = tree.space.d(tree.dataset[entry.obj_index], self._query)
             bound = max(0.0, d_routing - entry.radius)
             if bound <= radius:
                 heapq.heappush(
-                    self._heap, (bound, next(self._counter), entry.child, d_routing)
+                    self._heap,
+                    (bound, next(self._counter), entry.child, d_routing, level + 1),
                 )
+                pushed += 1
                 if entry.child.is_leaf:
                     self.routing_context[entry.child.page.page_id] = (
                         d_routing,
                         entry.radius,
                     )
+            else:
+                pruned += 1
+        return pushed, pruned
 
     def next_page(self, radius: float) -> tuple[float, Page] | None:
         heap = self._heap
+        telemetry = self._telemetry
         while heap:
-            bound, _, node, d_routing = heap[0]
+            bound, _, node, d_routing, level = heap[0]
             if bound > radius:
+                if telemetry is not None:
+                    telemetry.finish(pending=len(heap))
                 return None
             heapq.heappop(heap)
             if node.is_leaf:
@@ -135,7 +149,16 @@ class _MTreeStream(PageStream):
             # charged as page reads.
             if node is not self._tree.root:
                 self._tree.disk.read(node.page)
-            self._push_children(node, d_routing, radius)
+            pushed, pruned = self._push_children(node, d_routing, radius, level)
+            if telemetry is not None:
+                telemetry.node_visit(
+                    level=level,
+                    entries=len(node.entries),
+                    pushed=pushed,
+                    pruned=pruned,
+                )
+        if telemetry is not None:
+            telemetry.finish()
         return None
 
     def lower_bounds_for_others(

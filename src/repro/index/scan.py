@@ -26,13 +26,24 @@ class _ScanStream(PageStream):
         super().__init__(scan)
         self._pages = scan.data_pages()
         self._position = 0
+        self._telemetry = scan.traversal_telemetry()
         scan.disk.reset_head()
 
     def next_page(self, radius: float) -> tuple[float, Page] | None:
         if radius < 0 or self._position >= len(self._pages):
+            if self._telemetry is not None:
+                self._telemetry.finish(pending=len(self._pages) - self._position)
             return None
         page = self._pages[self._position]
         self._position += 1
+        if self._telemetry is not None:
+            self._telemetry.node_visit(
+                level=0,
+                entries=page.n_objects,
+                pushed=1,
+                pruned=0,
+                page_id=page.page_id,
+            )
         return 0.0, page
 
 

@@ -53,15 +53,49 @@ class _VAFileStream(PageStream):
         page_bounds.sort()
         self._ordered = page_bounds
         self._position = 0
+        self._telemetry = vafile.traversal_telemetry()
+        if self._telemetry is not None:
+            self._lower = lower
+            self._telemetry.observer.event(
+                "index.filter",
+                access=vafile.name,
+                objects=len(lower),
+                pages=len(page_bounds),
+                approx_pages=len(vafile.approximation_pages),
+            )
 
     def next_page(self, radius: float) -> tuple[float, Page] | None:
-        if self._position >= len(self._ordered):
+        if self._position >= len(self._ordered) or (
+            self._ordered[self._position][0] > radius
+        ):
+            if self._telemetry is not None and not self._telemetry.closed:
+                # Candidate set at the final radius: objects whose
+                # approximation-derived lower bound does not disqualify
+                # them (the VA-file phase-1 filter output, Sec. 5.2).
+                if np.isfinite(radius):
+                    candidates = int(np.count_nonzero(self._lower <= radius))
+                else:
+                    candidates = len(self._lower)
+                self._telemetry.observer.metrics.set_gauge(
+                    "index.vafile.candidates", candidates
+                )
+                self._telemetry.finish(
+                    pending=len(self._ordered) - self._position,
+                    candidates=candidates,
+                )
             return None
         bound, page_index = self._ordered[self._position]
-        if bound > radius:
-            return None
         self._position += 1
-        return bound, self._vafile.vector_pages[page_index]
+        page = self._vafile.vector_pages[page_index]
+        if self._telemetry is not None:
+            self._telemetry.node_visit(
+                level=0,
+                entries=page.n_objects,
+                pushed=1,
+                pruned=0,
+                page_id=page.page_id,
+            )
+        return bound, page
 
 
 class VAFile(AccessMethod):

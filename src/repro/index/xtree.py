@@ -109,17 +109,21 @@ class _XTreeStream(PageStream):
         self._tree = tree
         self._query = np.asarray(query_obj, dtype=float)
         self._counter = itertools.count()
+        self._telemetry = tree.traversal_telemetry()
         root = tree.root
-        self._heap: list[tuple[float, int, _Node]] = []
+        self._heap: list[tuple[float, int, _Node, int]] = []
         if root is not None:
             bound = tree.space.mbr_mindist(root.mbr.lo, root.mbr.hi, self._query)
-            self._heap = [(bound, next(self._counter), root)]
+            self._heap = [(bound, next(self._counter), root, 0)]
 
     def next_page(self, radius: float) -> tuple[float, Page] | None:
         heap = self._heap
+        telemetry = self._telemetry
         while heap:
-            bound, _, node = heap[0]
+            bound, _, node, level = heap[0]
             if bound > radius:
+                if telemetry is not None:
+                    telemetry.finish(pending=len(heap))
                 return None
             heapq.heappop(heap)
             if node.is_leaf:
@@ -129,12 +133,28 @@ class _XTreeStream(PageStream):
             # other directory nodes are charged as reads.
             if dir_node is not self._tree.root:
                 self._tree.disk.read(dir_node.page)
+            pushed = pruned = 0
             for child in dir_node.children:
                 child_bound = self._tree.space.mbr_mindist(
                     child.mbr.lo, child.mbr.hi, self._query
                 )
                 if child_bound <= radius:
-                    heapq.heappush(heap, (child_bound, next(self._counter), child))
+                    heapq.heappush(
+                        heap, (child_bound, next(self._counter), child, level + 1)
+                    )
+                    pushed += 1
+                else:
+                    pruned += 1
+            if telemetry is not None:
+                telemetry.node_visit(
+                    level=level,
+                    entries=len(dir_node.children),
+                    pushed=pushed,
+                    pruned=pruned,
+                    supernode=dir_node.page.n_blocks > 1,
+                )
+        if telemetry is not None:
+            telemetry.finish()
         return None
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.database import Database
 from repro.core.types import knn_query
+from repro.obs.observer import maybe_phase
 
 
 def knn_classify(
@@ -54,12 +55,23 @@ def knn_classify(
     effective_k = k + 1 if exclude_self else k
     query_indices = [int(i) for i in query_indices]
     queries = [database.dataset[i] for i in query_indices]
-    answer_sets = database.run_in_blocks(
-        queries,
-        knn_query(effective_k),
-        block_size=block_size if block_size is not None else max(1, len(queries)),
-        db_indices=query_indices,
-    )
+    observer = getattr(database, "observer", None)
+    with maybe_phase(observer, "mine.classify", queries=len(queries), k=k):
+        with maybe_phase(
+            observer,
+            "mine.iteration",
+            driver="classify",
+            iteration=0,
+            batch=len(queries),
+        ):
+            answer_sets = database.run_in_blocks(
+                queries,
+                knn_query(effective_k),
+                block_size=block_size
+                if block_size is not None
+                else max(1, len(queries)),
+                db_indices=query_indices,
+            )
     predictions: list[Any] = []
     for query_index, answers in zip(query_indices, answer_sets):
         votes = [a.index for a in answers if not (exclude_self and a.index == query_index)]

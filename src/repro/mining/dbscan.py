@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.database import Database
 from repro.core.types import range_query
+from repro.obs.observer import maybe_phase
 
 #: Label for noise objects.
 NOISE = -1
@@ -83,49 +84,61 @@ def dbscan(
     qtype = range_query(eps)
     processor = database.processor(seed_from_queries=False)
     queries_issued = 0
+    observer = getattr(database, "observer", None)
 
     def neighborhood(seeds: list[int]) -> list[int]:
         """Answer the range query for ``seeds[0]``, prefetching the rest."""
         nonlocal queries_issued
-        queries_issued += 1
-        if batch_size == 1:
-            answers = processor.process(
-                [database.dataset[seeds[0]]], [qtype], keys=[seeds[0]]
-            )
-        else:
-            window = seeds[:batch_size]
-            answers = processor.process(
-                [database.dataset[i] for i in window],
-                [qtype] * len(window),
-                keys=window,
-            )
-        processor.retire(seeds[0])
-        return [a.index for a in answers]
+        with maybe_phase(
+            observer,
+            "mine.iteration",
+            driver="dbscan",
+            iteration=queries_issued,
+            seed=seeds[0],
+            batch=min(batch_size, len(seeds)),
+        ):
+            queries_issued += 1
+            if batch_size == 1:
+                answers = processor.process(
+                    [database.dataset[seeds[0]]], [qtype], keys=[seeds[0]]
+                )
+            else:
+                window = seeds[:batch_size]
+                answers = processor.process(
+                    [database.dataset[i] for i in window],
+                    [qtype] * len(window),
+                    keys=window,
+                )
+            processor.retire(seeds[0])
+            return [a.index for a in answers]
 
     cluster_id = 0
-    for start in range(n):
-        if labels[start] != _UNCLASSIFIED:
-            continue
-        neighbors = neighborhood([start])
-        if len(neighbors) < min_pts:
-            labels[start] = NOISE
-            continue
-        # Expand a new cluster from this core object.
-        labels[start] = cluster_id
-        seeds = [i for i in neighbors if labels[i] in (_UNCLASSIFIED, NOISE)]
-        for i in seeds:
-            labels[i] = cluster_id
-        while seeds:
-            current = seeds[0]
-            current_neighbors = neighborhood(seeds)
-            seeds = seeds[1:]
-            if len(current_neighbors) >= min_pts:
-                for i in current_neighbors:
-                    if labels[i] in (_UNCLASSIFIED, NOISE):
-                        if labels[i] == _UNCLASSIFIED:
-                            seeds.append(i)
-                        labels[i] = cluster_id
-        cluster_id += 1
+    with maybe_phase(
+        observer, "mine.dbscan", eps=eps, min_pts=min_pts, batch_size=batch_size
+    ):
+        for start in range(n):
+            if labels[start] != _UNCLASSIFIED:
+                continue
+            neighbors = neighborhood([start])
+            if len(neighbors) < min_pts:
+                labels[start] = NOISE
+                continue
+            # Expand a new cluster from this core object.
+            labels[start] = cluster_id
+            seeds = [i for i in neighbors if labels[i] in (_UNCLASSIFIED, NOISE)]
+            for i in seeds:
+                labels[i] = cluster_id
+            while seeds:
+                current = seeds[0]
+                current_neighbors = neighborhood(seeds)
+                seeds = seeds[1:]
+                if len(current_neighbors) >= min_pts:
+                    for i in current_neighbors:
+                        if labels[i] in (_UNCLASSIFIED, NOISE):
+                            if labels[i] == _UNCLASSIFIED:
+                                seeds.append(i)
+                            labels[i] = cluster_id
+            cluster_id += 1
 
     return DBSCANResult(
         labels=labels, n_clusters=cluster_id, queries_issued=queries_issued

@@ -20,6 +20,7 @@ from repro.core.answers import Answer
 from repro.core.database import Database
 from repro.core.multi_query import MultiQueryProcessor
 from repro.core.types import QueryType
+from repro.obs.observer import maybe_phase
 
 
 @dataclass
@@ -72,29 +73,44 @@ def explore_neighborhoods(
     control: dict[int, None] = dict.fromkeys(int(i) for i in start_objects)
     ever_enqueued = set(control)
     stats = ExplorationStats()
+    observer = getattr(database, "observer", None)
 
-    while control:
-        if callbacks.condition_check is not None and not callbacks.condition_check(
-            list(control)
-        ):
-            break
-        if max_iterations is not None and stats.queries_issued >= max_iterations:
-            break
-        obj_index = next(iter(control))
-        if callbacks.proc_1 is not None:
-            callbacks.proc_1(obj_index)
-        answers = database.similarity_query(database.dataset[obj_index], sim_type)
-        stats.queries_issued += 1
-        stats.objects_visited.append(obj_index)
-        if callbacks.proc_2 is not None:
-            callbacks.proc_2(obj_index, answers)
-        fresh = [
-            int(i) for i in filter_fn(obj_index, answers) if i not in ever_enqueued
-        ]
-        del control[obj_index]
-        for index in fresh:
-            control[index] = None
-            ever_enqueued.add(index)
+    with maybe_phase(
+        observer, "mine.explore", scheme="single", start_objects=len(control)
+    ):
+        while control:
+            if callbacks.condition_check is not None and not callbacks.condition_check(
+                list(control)
+            ):
+                break
+            if max_iterations is not None and stats.queries_issued >= max_iterations:
+                break
+            obj_index = next(iter(control))
+            with maybe_phase(
+                observer,
+                "mine.iteration",
+                driver="explore",
+                iteration=stats.queries_issued,
+                obj=obj_index,
+            ):
+                if callbacks.proc_1 is not None:
+                    callbacks.proc_1(obj_index)
+                answers = database.similarity_query(
+                    database.dataset[obj_index], sim_type
+                )
+                stats.queries_issued += 1
+                stats.objects_visited.append(obj_index)
+                if callbacks.proc_2 is not None:
+                    callbacks.proc_2(obj_index, answers)
+                fresh = [
+                    int(i)
+                    for i in filter_fn(obj_index, answers)
+                    if i not in ever_enqueued
+                ]
+                del control[obj_index]
+                for index in fresh:
+                    control[index] = None
+                    ever_enqueued.add(index)
     return stats
 
 
@@ -126,32 +142,46 @@ def explore_neighborhoods_multiple(
     proc = processor if processor is not None else database.processor(
         seed_from_queries=True
     )
+    observer = getattr(database, "observer", None)
 
-    while control:
-        if callbacks.condition_check is not None and not callbacks.condition_check(
-            list(control)
-        ):
-            break
-        if max_iterations is not None and stats.queries_issued >= max_iterations:
-            break
-        batch = list(control)[:batch_size]
-        first = batch[0]
-        if callbacks.proc_1 is not None:
-            callbacks.proc_1(first)
-        answers = proc.process(
-            [database.dataset[i] for i in batch],
-            [sim_type] * len(batch),
-            keys=batch,
-            db_indices=batch,
-        )
-        stats.queries_issued += 1
-        stats.objects_visited.append(first)
-        if callbacks.proc_2 is not None:
-            callbacks.proc_2(first, answers)
-        fresh = [int(i) for i in filter_fn(first, answers) if i not in ever_enqueued]
-        del control[first]
-        proc.retire(first)
-        for index in fresh:
-            control[index] = None
-            ever_enqueued.add(index)
+    with maybe_phase(
+        observer, "mine.explore", scheme="multiple", start_objects=len(control)
+    ):
+        while control:
+            if callbacks.condition_check is not None and not callbacks.condition_check(
+                list(control)
+            ):
+                break
+            if max_iterations is not None and stats.queries_issued >= max_iterations:
+                break
+            batch = list(control)[:batch_size]
+            first = batch[0]
+            with maybe_phase(
+                observer,
+                "mine.iteration",
+                driver="explore",
+                iteration=stats.queries_issued,
+                obj=first,
+                batch=len(batch),
+            ):
+                if callbacks.proc_1 is not None:
+                    callbacks.proc_1(first)
+                answers = proc.process(
+                    [database.dataset[i] for i in batch],
+                    [sim_type] * len(batch),
+                    keys=batch,
+                    db_indices=batch,
+                )
+                stats.queries_issued += 1
+                stats.objects_visited.append(first)
+                if callbacks.proc_2 is not None:
+                    callbacks.proc_2(first, answers)
+                fresh = [
+                    int(i) for i in filter_fn(first, answers) if i not in ever_enqueued
+                ]
+                del control[first]
+                proc.retire(first)
+                for index in fresh:
+                    control[index] = None
+                    ever_enqueued.add(index)
     return stats

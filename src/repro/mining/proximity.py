@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.database import Database
 from repro.core.types import knn_query
+from repro.obs.observer import maybe_phase
 
 
 @dataclass(frozen=True)
@@ -61,11 +62,20 @@ def proximity_analysis(
     if not cluster:
         raise ValueError("cluster must not be empty")
     member_set = set(cluster)
+    observer = getattr(database, "observer", None)
 
-    answer_sets = database.multiple_similarity_query(
-        [database.dataset[i] for i in cluster],
-        knn_query(per_member_k + len(cluster)),
-    )
+    with maybe_phase(observer, "mine.proximity", cluster=len(cluster), top_k=top_k):
+        with maybe_phase(
+            observer,
+            "mine.iteration",
+            driver="proximity",
+            iteration=0,
+            batch=len(cluster),
+        ):
+            answer_sets = database.multiple_similarity_query(
+                [database.dataset[i] for i in cluster],
+                knn_query(per_member_k + len(cluster)),
+            )
     best: dict[int, float] = {}
     for answers in answer_sets:
         for answer in answers:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.database import Database
 from repro.core.types import knn_query
+from repro.obs.observer import maybe_phase
 
 
 @dataclass
@@ -99,33 +100,45 @@ def detect_trends(
     start_obj = database.dataset[start]
     qtype = knn_query(k)
 
-    for _ in range(n_paths):
-        current = int(start)
-        visited = {current}
-        objects = [current]
-        distances = [0.0]
-        deltas = [0.0]
-        for _ in range(path_length):
-            answers = processor.process(
-                [database.dataset[current]], [qtype], keys=[("trend", current)]
+    observer = getattr(database, "observer", None)
+    with maybe_phase(observer, "mine.trend", n_paths=n_paths, path_length=path_length):
+        for path_index in range(n_paths):
+            current = int(start)
+            visited = {current}
+            objects = [current]
+            distances = [0.0]
+            deltas = [0.0]
+            for step in range(path_length):
+                with maybe_phase(
+                    observer,
+                    "mine.iteration",
+                    driver="trend",
+                    iteration=step,
+                    path=path_index,
+                    obj=current,
+                ):
+                    answers = processor.process(
+                        [database.dataset[current]], [qtype], keys=[("trend", current)]
+                    )
+                candidates = [a.index for a in answers if a.index not in visited]
+                if not candidates:
+                    break
+                nxt = int(candidates[int(rng.integers(0, len(candidates)))])
+                visited.add(nxt)
+                objects.append(nxt)
+                distances.append(
+                    database.space.uncounted(start_obj, database.dataset[nxt])
+                )
+                deltas.append(float(attribute[nxt] - attribute[start]))
+                current = nxt
+            slope, r_squared = _regress(np.asarray(distances), np.asarray(deltas))
+            result.paths.append(
+                TrendPath(
+                    objects=objects,
+                    distances=distances,
+                    attribute_deltas=deltas,
+                    slope=slope,
+                    r_squared=r_squared,
+                )
             )
-            candidates = [a.index for a in answers if a.index not in visited]
-            if not candidates:
-                break
-            nxt = int(candidates[int(rng.integers(0, len(candidates)))])
-            visited.add(nxt)
-            objects.append(nxt)
-            distances.append(database.space.uncounted(start_obj, database.dataset[nxt]))
-            deltas.append(float(attribute[nxt] - attribute[start]))
-            current = nxt
-        slope, r_squared = _regress(np.asarray(distances), np.asarray(deltas))
-        result.paths.append(
-            TrendPath(
-                objects=objects,
-                distances=distances,
-                attribute_deltas=deltas,
-                slope=slope,
-                r_squared=r_squared,
-            )
-        )
     return result

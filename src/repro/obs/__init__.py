@@ -44,12 +44,25 @@ from repro.obs.metrics import (
     HistogramMetric,
     MetricsRegistry,
     attach_counters,
+    stable_floats,
 )
-from repro.obs.observer import Observer
+from repro.obs.observer import Observer, maybe_phase
+from repro.obs.regression import (
+    compare,
+    entries_from_bench_file,
+    load_store,
+    render_comparison,
+    run_quick_suite,
+    save_store,
+)
 from repro.obs.report import render_report, summarize_metrics, summarize_trace
 from repro.obs.tracing import (
     EVENT_AVOIDANCE_TRY,
     EVENT_BLOCK_FLUSH,
+    EVENT_INDEX_FILTER,
+    EVENT_INDEX_NODE_VISIT,
+    EVENT_INDEX_PRUNE,
+    EVENT_MINE_ITERATION,
     EVENT_PAGE_PROCESS,
     EVENT_QUERY_ADMIT,
     EVENT_WORKER_RUN,
@@ -61,6 +74,10 @@ __all__ = [
     "CountersAdapter",
     "EVENT_AVOIDANCE_TRY",
     "EVENT_BLOCK_FLUSH",
+    "EVENT_INDEX_FILTER",
+    "EVENT_INDEX_NODE_VISIT",
+    "EVENT_INDEX_PRUNE",
+    "EVENT_MINE_ITERATION",
     "EVENT_PAGE_PROCESS",
     "EVENT_QUERY_ADMIT",
     "EVENT_WORKER_RUN",
@@ -69,8 +86,16 @@ __all__ = [
     "Observer",
     "Tracer",
     "attach_counters",
+    "compare",
+    "entries_from_bench_file",
+    "load_store",
+    "maybe_phase",
     "read_jsonl",
+    "render_comparison",
     "render_report",
+    "run_quick_suite",
+    "save_store",
+    "stable_floats",
     "summarize_metrics",
     "summarize_trace",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from bisect import bisect_left
 from typing import Any, Callable, Mapping
 
@@ -197,11 +198,86 @@ class MetricsRegistry:
             json.dump(self.snapshot(), handle, indent=2, default=_json_default)
             handle.write("\n")
 
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Render every metric in Prometheus text exposition format.
+
+        Counters, gauges and collected values become ``counter`` /
+        ``gauge`` samples; histograms become the standard cumulative
+        ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Metric
+        names are mangled to the Prometheus charset (dots become
+        underscores) under ``prefix``.
+        """
+        lines: list[str] = []
+        collected: dict[str, float] = {}
+        for collector in self._collectors:
+            collected.update(collector())
+        for name, counter in sorted(self._counters.items()):
+            pname = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            pname = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prometheus_value(gauge.value)}")
+        for name, value in sorted(collected.items()):
+            pname = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prometheus_value(value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            pname = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                le = _prometheus_value(float(bound))
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{pname}_sum {_prometheus_value(histogram.sum)}")
+            lines.append(f"{pname}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    return prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prometheus_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
 
 def _json_default(value: Any) -> Any:
     if isinstance(value, float) and math.isinf(value):
         return "inf" if value > 0 else "-inf"
     raise TypeError(f"not JSON serializable: {value!r}")
+
+
+def stable_floats(value: Any, sigfigs: int = 9) -> Any:
+    """Recursively round floats to ``sigfigs`` significant digits.
+
+    Applied before serialising snapshots so repeated runs of a
+    deterministic workload produce byte-identical files apart from
+    genuinely different measurements; non-finite floats pass through
+    (handled by :func:`_json_default`).
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value) or value == 0.0:
+            return value
+        return float(f"{value:.{sigfigs}g}")
+    if isinstance(value, dict):
+        return {key: stable_floats(item, sigfigs) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [stable_floats(item, sigfigs) for item in value]
+    return value
 
 
 class CountersAdapter:

@@ -10,11 +10,28 @@ latency histogram and (when tracing is enabled) recorded as a span.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import DEFAULT_TRACE_CAPACITY, Tracer
+
+#: Shared reusable no-op context for ``maybe_phase`` without an observer.
+_NULL_CONTEXT = contextlib.nullcontext()
+
+
+def maybe_phase(observer: "Observer | None", name: str, **attrs: Any) -> Any:
+    """``observer.phase(name, ...)`` or a shared no-op context manager.
+
+    The guard the mining drivers use around their iteration loops: with
+    no observer the call costs one ``is None`` check and returns a
+    shared :func:`contextlib.nullcontext`, keeping the fast path free of
+    tracer state.
+    """
+    if observer is None:
+        return _NULL_CONTEXT
+    return observer.phase(name, **attrs)
 
 
 class _PhaseTimer:
@@ -90,14 +107,30 @@ class Observer:
         return snapshot
 
     def write_metrics(self, path: str) -> None:
-        """Write the metrics snapshot (incl. trace stats) as JSON."""
+        """Write the metrics snapshot (incl. trace stats) as JSON.
+
+        The output is deterministic -- keys sorted at every level,
+        floats rounded to 9 significant digits -- so sidecars from
+        repeated runs of a deterministic workload diff cleanly.
+        """
         import json
 
-        from repro.obs.metrics import _json_default
+        from repro.obs.metrics import _json_default, stable_floats
 
         with open(path, "w") as handle:
-            json.dump(self.snapshot(), handle, indent=2, default=_json_default)
+            json.dump(
+                stable_floats(self.snapshot()),
+                handle,
+                indent=2,
+                sort_keys=True,
+                default=_json_default,
+            )
             handle.write("\n")
+
+    def write_prometheus(self, path: str) -> None:
+        """Write the registry in Prometheus text exposition format."""
+        with open(path, "w") as handle:
+            handle.write(self.metrics.to_prometheus())
 
     def write_trace(self, path: str) -> int:
         """Write the trace ring buffer as JSONL; returns entry count."""

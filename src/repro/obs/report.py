@@ -62,7 +62,7 @@ def summarize_metrics(snapshot: dict[str, Any]) -> str:
         lines.extend(_section("phase latencies"))
         lines.append(
             f"  {'phase':<28}{'count':>8}{'total':>12}{'mean':>12}"
-            f"{'p50':>12}{'p95':>12}{'max':>12}"
+            f"{'p50':>12}{'p95':>12}{'p99':>12}{'max':>12}"
         )
         for name, h in histograms.items():
             label = name
@@ -72,7 +72,7 @@ def summarize_metrics(snapshot: dict[str, Any]) -> str:
                 f"  {label:<28}{h['count']:>8}"
                 f"{_fmt_seconds(h['sum']):>12}{_fmt_seconds(h['mean']):>12}"
                 f"{_fmt_seconds(h['p50']):>12}{_fmt_seconds(h['p95']):>12}"
-                f"{_fmt_seconds(h['max']):>12}"
+                f"{_fmt_seconds(h['p99']):>12}{_fmt_seconds(h['max']):>12}"
             )
 
     events = {

@@ -32,6 +32,14 @@ EVENT_BLOCK_FLUSH = "block.flush"
 EVENT_WORKER_RUN = "worker.run"
 EVENT_QUERY_DRIVE = "query.drive"
 
+# Index-traversal taxonomy (emitted by the access-method page streams).
+EVENT_INDEX_NODE_VISIT = "index.node_visit"
+EVENT_INDEX_PRUNE = "index.prune"
+EVENT_INDEX_FILTER = "index.filter"
+
+# Mining-driver taxonomy (spans wrapping each driver run / iteration).
+EVENT_MINE_ITERATION = "mine.iteration"
+
 DEFAULT_TRACE_CAPACITY = 65_536
 
 

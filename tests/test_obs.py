@@ -354,3 +354,257 @@ class TestReportRendering:
     def test_summaries_handle_empty_input(self):
         assert "run summary" in summarize_metrics({})
         assert "trace (0 entries)" in summarize_trace([])
+
+    def test_phase_table_reports_tail_quantiles(self, vectors):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        text = render_report(observer.snapshot(), None)
+        assert "p99" in text and "p95" in text and "p50" in text
+
+
+ALL_ACCESS_METHODS = ["scan", "xtree", "rstar", "mtree", "vafile"]
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    # Tight clusters so every tree access method actually prunes
+    # subtrees (uniform data defeats the M-tree's covering radii).
+    from repro.workloads import make_gaussian_mixture
+
+    return make_gaussian_mixture(
+        n=900, dimension=8, n_clusters=12, cluster_std=0.03, seed=3
+    ).vectors
+
+
+class TestIndexTraversalTelemetry:
+    @pytest.mark.parametrize("access", ALL_ACCESS_METHODS)
+    def test_knn_identity_and_traversal_events(self, clustered, access):
+        vectors = clustered
+        plain = Database(vectors, access=access)
+        expected = _answers_as_tuples(_run_blocks(plain, vectors))
+
+        observer = Observer()
+        traced = Database(vectors, access=access, observer=observer)
+        got = _answers_as_tuples(_run_blocks(traced, vectors))
+
+        assert got == expected
+        assert traced.counters.as_dict() == plain.counters.as_dict()
+
+        snapshot = observer.snapshot()
+        assert snapshot["counters"]["events.index.node_visit"] > 0
+        visits = [
+            r for r in observer.tracer.records() if r["name"] == "index.node_visit"
+        ]
+        assert visits
+        assert all(r["attrs"]["access"] == access for r in visits)
+        assert all(r["attrs"]["level"] >= 0 for r in visits)
+        assert all(r["attrs"]["entries"] > 0 for r in visits)
+        if access == "scan":
+            # A scan reads everything: no subtree is ever pruned.
+            assert snapshot["gauges"]["index.prune_effectiveness"] == 0.0
+        else:
+            assert snapshot["counters"]["events.index.prune"] > 0
+            assert snapshot["counters"]["index.subtrees_pruned"] > 0
+            # Gauge holds the LAST stream's effectiveness (per-query).
+            assert 0.0 <= snapshot["gauges"]["index.prune_effectiveness"] <= 1.0
+            prunes = [
+                r for r in observer.tracer.records() if r["name"] == "index.prune"
+            ]
+            assert prunes and all(r["attrs"]["count"] > 0 for r in prunes)
+
+    def test_vafile_filter_step_reports_candidate_set(self, vectors):
+        observer = Observer()
+        database = Database(vectors, access="vafile", observer=observer)
+        _run_blocks(database, vectors)
+        filters = [
+            r for r in observer.tracer.records() if r["name"] == "index.filter"
+        ]
+        assert filters
+        assert all(f["attrs"]["objects"] == len(vectors) for f in filters)
+        assert all(f["attrs"]["pages"] > 0 for f in filters)
+        # At the final radius at least k objects pass the filter.
+        assert observer.snapshot()["gauges"]["index.vafile.candidates"] >= 5
+
+    @pytest.mark.parametrize("access", ALL_ACCESS_METHODS)
+    def test_no_observer_means_no_telemetry_object(self, vectors, access):
+        database = Database(vectors, access=access)
+        assert database.access_method.observer is None
+        assert database.access_method.traversal_telemetry() is None
+
+
+class TestMiningSpans:
+    def test_dbscan_identity_and_nested_spans(self, vectors):
+        from repro.mining.dbscan import dbscan
+
+        data = vectors[:300]
+        plain = Database(data, access="xtree")
+        expected = dbscan(plain, eps=0.45, min_pts=4, batch_size=4)
+
+        observer = Observer()
+        traced = Database(data, access="xtree", observer=observer)
+        got = dbscan(traced, eps=0.45, min_pts=4, batch_size=4)
+
+        assert np.array_equal(got.labels, expected.labels)
+        assert got.n_clusters == expected.n_clusters
+        assert got.queries_issued == expected.queries_issued
+        assert traced.counters.as_dict() == plain.counters.as_dict()
+
+        spans = [
+            r for r in observer.tracer.records() if r["kind"] == "span"
+        ]
+        by_id = {r["span_id"]: r for r in spans}
+        assert sum(1 for r in spans if r["name"] == "mine.dbscan") == 1
+        iterations = [r for r in spans if r["name"] == "mine.iteration"]
+        assert iterations
+        assert all(r["attrs"]["driver"] == "dbscan" for r in iterations)
+
+        def ancestor_names(record):
+            names = set()
+            while record["parent_id"] is not None:
+                record = by_id.get(record["parent_id"])
+                if record is None:  # parent evicted from the ring buffer
+                    break
+                names.add(record["name"])
+            return names
+
+        # End-to-end nesting: mining loop -> multi-query -> page engine.
+        drives = [r for r in spans if r["name"] == "query.drive"]
+        pages = [r for r in spans if r["name"] == "page.process"]
+        assert drives and pages
+        assert any("mine.iteration" in ancestor_names(r) for r in drives)
+        assert any(
+            {"mine.iteration", "mine.dbscan"} <= ancestor_names(r) for r in pages
+        )
+
+    def test_all_drivers_emit_iteration_spans(self, vectors):
+        from repro.mining.classify import knn_classify
+        from repro.mining.explore import explore_neighborhoods
+        from repro.mining.proximity import proximity_analysis
+        from repro.mining.trend import detect_trends
+
+        data = np.asarray(vectors[:200])
+        labels = np.arange(len(data)) % 3
+        runs = {
+            "mine.explore": lambda db: explore_neighborhoods(
+                db, [0, 1], knn_query(4), max_iterations=3
+            ),
+            "mine.proximity": lambda db: proximity_analysis(db, [0, 1, 2]),
+            "mine.classify": lambda db: knn_classify(
+                db, [0, 1, 2, 3], k=3, labels=labels
+            ),
+            "mine.trend": lambda db: detect_trends(
+                db, 0, np.linspace(0.0, 1.0, len(data)), n_paths=2, path_length=2
+            ),
+        }
+        for phase_name, run in runs.items():
+            observer = Observer()
+            database = Database(data, access="xtree", observer=observer)
+            run(database)
+            spans = {
+                r["name"]
+                for r in observer.tracer.records()
+                if r["kind"] == "span"
+            }
+            assert phase_name in spans, phase_name
+            assert "mine.iteration" in spans, phase_name
+            histogram = observer.metrics.histogram("phase.mine.iteration.seconds")
+            assert histogram.count > 0
+
+    def test_mining_without_observer_unchanged(self, vectors):
+        from repro.mining.dbscan import dbscan
+
+        data = vectors[:200]
+        database = Database(data, access="xtree")
+        result = dbscan(database, eps=0.45, min_pts=4, batch_size=3)
+        assert result.n_clusters >= 0  # runs through the nullcontext path
+
+
+class TestDeterministicOutput:
+    def test_write_metrics_is_byte_stable(self, vectors, tmp_path):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        observer.write_metrics(str(first))
+        observer.write_metrics(str(second))
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert list(payload) == sorted(payload)
+        assert list(payload["counters"]) == sorted(payload["counters"])
+
+    def test_stable_floats_rounds_to_nine_significant_digits(self):
+        from repro.obs import stable_floats
+
+        assert stable_floats(0.1 + 0.2) == 0.3
+        assert stable_floats({"a": [1.23456789012345, 2]}) == {
+            "a": [1.23456789, 2]
+        }
+        assert stable_floats(float("inf")) == float("inf")
+        assert stable_floats(True) is True
+
+
+class TestPrometheusExport:
+    def test_renders_all_metric_kinds(self, vectors):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        text = observer.metrics.to_prometheus()
+        assert "# TYPE repro_events_index_node_visit counter" in text
+        assert "# TYPE repro_index_prune_effectiveness gauge" in text
+        assert "# TYPE repro_phase_page_process_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_phase_page_process_seconds_sum" in text
+        assert "repro_phase_page_process_seconds_count" in text
+        # Collected values (derived.* from the Counters adapter) export too.
+        assert "repro_derived_sharing_factor" in text
+        assert text.endswith("\n")
+
+    def test_write_prometheus_file(self, vectors, tmp_path):
+        observer = Observer()
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        path = tmp_path / "metrics.prom"
+        observer.write_prometheus(str(path))
+        content = path.read_text()
+        lines = [l for l in content.splitlines() if l and not l.startswith("#")]
+        assert lines
+        for line in lines:
+            name, value = line.rsplit(" ", 1)
+            float(value)  # every sample line ends in a parseable number
+
+
+class TestTracerRobustness:
+    def test_ring_buffer_overflow_keeps_newest_under_load(self, vectors):
+        observer = Observer(trace_capacity=32)
+        database = Database(vectors, access="xtree", observer=observer)
+        _run_blocks(database, vectors)
+        tracer = observer.tracer
+        assert len(tracer) == 32
+        assert tracer.n_dropped == tracer.n_emitted - 32
+        assert tracer.n_dropped > 0
+        snapshot = observer.snapshot()
+        assert snapshot["trace"]["dropped"] == tracer.n_dropped
+        assert snapshot["trace"]["capacity"] == 32
+
+    def test_process_backend_trace_jsonl_round_trip(self, vectors, tmp_path):
+        observer = Observer(trace_capacity=4096)
+        cluster = ParallelDatabase(
+            vectors, n_servers=2, access="scan", observer=observer
+        )
+        queries = [vectors[i] for i in range(4)]
+        run = cluster.multiple_similarity_query(
+            queries, knn_query(3), db_indices=list(range(4)), backend="process"
+        )
+        assert run.wall_seconds is not None
+        path = tmp_path / "trace.jsonl"
+        n = observer.write_trace(str(path))
+        parsed = read_jsonl(str(path))
+        assert len(parsed) == n == len(observer.tracer)
+        assert parsed == observer.tracer.records()
+        worker_events = [r for r in parsed if r["name"] == "worker.run"]
+        assert len(worker_events) == 2
+        assert all(
+            e["attrs"]["backend"] == "process" for e in worker_events
+        )

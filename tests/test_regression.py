@@ -1,0 +1,233 @@
+"""Tests for the benchmark baseline store and regression harness."""
+
+import json
+
+import pytest
+
+from repro.obs import regression
+from repro.obs.regression import (
+    SCHEMA_VERSION,
+    compare,
+    entries_from_bench_file,
+    load_store,
+    make_entry,
+    render_comparison,
+    run_quick_suite,
+    save_store,
+)
+
+
+def _entry(seconds, **counters):
+    return make_entry(seconds, counters or None)
+
+
+class TestBaselineStore:
+    def test_round_trip_preserves_entries(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        entries = {
+            "quick/xtree/knn": _entry(0.02, page_reads=145, queries_completed=24),
+            "quick/scan/knn": _entry(0.10, page_reads=216),
+        }
+        save_store(path, entries)
+        assert load_store(path) == entries
+
+    def test_store_is_schema_versioned_and_sorted(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        save_store(path, {"b/x": _entry(1.0), "a/y": _entry(2.0)})
+        raw = json.load(open(path))
+        assert raw["schema"] == SCHEMA_VERSION
+        assert list(raw["entries"]) == ["a/y", "b/x"]
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro-bench/999", "entries": {}}))
+        with pytest.raises(ValueError, match="repro-bench/999"):
+            load_store(str(path))
+
+
+class TestCompare:
+    def test_identical_runs_are_ok(self):
+        entries = {"k": _entry(1.0, page_reads=10)}
+        report = compare(entries, entries)
+        assert report.ok
+        assert [r.status for r in report.rows] == ["ok"]
+
+    def test_two_x_slowdown_is_named_as_regression(self):
+        baseline = {
+            "quick/xtree/knn": _entry(1.0, page_reads=100),
+            "quick/scan/knn": _entry(1.0, page_reads=200),
+        }
+        current = {
+            "quick/xtree/knn": _entry(2.1, page_reads=100),
+            "quick/scan/knn": _entry(1.1, page_reads=200),
+        }
+        report = compare(current, baseline, seconds_threshold=0.5)
+        assert not report.ok
+        assert [r.key for r in report.regressions] == ["quick/xtree/knn"]
+        text = render_comparison(report)
+        assert "REGRESSION: quick/xtree/knn" in text
+        assert "2.10x" in text
+
+    def test_counter_increase_is_a_regression_even_when_fast(self):
+        baseline = {"k": _entry(1.0, distance_calculations=1000)}
+        current = {"k": _entry(0.5, distance_calculations=1500)}
+        report = compare(current, baseline, seconds_threshold=0.5)
+        assert [r.key for r in report.regressions] == ["k"]
+        assert report.rows[0].counter_regressions == [
+            ("distance_calculations", 1000, 1500)
+        ]
+        # ... and tolerated once inside the counter threshold.
+        assert compare(
+            current, baseline, seconds_threshold=0.5, counter_threshold=0.6
+        ).ok
+
+    def test_new_and_missing_keys_do_not_fail(self):
+        report = compare({"new/k": _entry(1.0)}, {"old/k": _entry(1.0)})
+        assert report.ok
+        assert {r.key: r.status for r in report.rows} == {
+            "new/k": "new",
+            "old/k": "missing",
+        }
+
+    def test_speedup_is_reported_as_improved(self):
+        report = compare({"k": _entry(0.4)}, {"k": _entry(1.0)})
+        assert report.ok
+        assert report.rows[0].status == "improved"
+
+    def test_report_json_shape(self):
+        report = compare({"k": _entry(2.1)}, {"k": _entry(1.0)})
+        payload = report.to_json()
+        assert payload["ok"] is False
+        assert payload["regressions"] == ["k"]
+        assert payload["rows"][0]["seconds_ratio"] == pytest.approx(2.1)
+
+
+class TestBenchFileConverters:
+    def test_engine_kernels_file_converts(self):
+        entries = entries_from_bench_file("BENCH_engine_kernels.json")
+        assert entries
+        key = next(iter(entries))
+        assert key.startswith("engine_kernels/")
+        assert key.rsplit("/", 1)[1] in ("reference", "vectorized", "batched")
+        assert all(e["seconds"] > 0 for e in entries.values())
+
+    def test_obs_overhead_file_converts(self):
+        entries = entries_from_bench_file("BENCH_obs_overhead.json")
+        assert entries
+        assert all(k.startswith("obs_overhead/") for k in entries)
+        modes = {k.rsplit("/", 1)[1] for k in entries}
+        assert modes == {"off", "disabled", "traced"}
+
+    def test_unknown_benchmark_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"benchmark": "mystery", "rows": []}))
+        with pytest.raises(ValueError, match="mystery"):
+            entries_from_bench_file(str(path))
+
+
+class TestQuickSuite:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        return run_quick_suite(n_objects=500, n_queries=8)
+
+    def test_covers_every_access_method_plus_mining(self, small_run):
+        expected = {f"quick/{a}/knn" for a in regression.QUICK_ACCESS_METHODS}
+        expected.add("quick/dbscan/xtree")
+        assert set(small_run) == expected
+
+    def test_counters_are_deterministic(self, small_run):
+        again = run_quick_suite(n_objects=500, n_queries=8)
+        for key in small_run:
+            assert small_run[key]["counters"] == again[key]["counters"], key
+
+    def test_self_comparison_passes_check(self, small_run):
+        again = run_quick_suite(n_objects=500, n_queries=8)
+        report = compare(again, small_run, seconds_threshold=10.0)
+        assert report.ok, render_comparison(report)
+
+
+class TestCommittedBaselines:
+    def test_committed_store_loads_and_covers_the_quick_suite(self):
+        entries = load_store("benchmarks/baselines.json")
+        for access in regression.QUICK_ACCESS_METHODS:
+            assert f"quick/{access}/knn" in entries
+        assert "quick/dbscan/xtree" in entries
+        assert any(k.startswith("engine_kernels/") for k in entries)
+        assert any(k.startswith("obs_overhead/") for k in entries)
+
+    def test_quick_suite_counters_match_committed_baselines(self):
+        baseline = load_store("benchmarks/baselines.json")
+        current = run_quick_suite()
+        report = compare(
+            current,
+            baseline,
+            seconds_threshold=1e9,  # ignore timing noise: counters only
+            counter_threshold=0.0,
+        )
+        assert report.ok, render_comparison(report)
+
+
+class TestBenchCLI:
+    def _bench(self, *argv):
+        from repro.cli import main
+
+        return main(["bench", *argv])
+
+    def test_update_then_check_round_trip(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baselines.json")
+        assert self._bench(
+            "--suite", "none",
+            "--import-bench", "BENCH_obs_overhead.json",
+            "--baseline", baseline, "--update",
+        ) == 0
+        assert self._bench(
+            "--suite", "none",
+            "--import-bench", "BENCH_obs_overhead.json",
+            "--baseline", baseline, "--check",
+        ) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails_check_and_names_benchmark(
+        self, tmp_path, capsys
+    ):
+        baseline = str(tmp_path / "baselines.json")
+        doctored = tmp_path / "slow.json"
+        result = json.load(open("BENCH_obs_overhead.json"))
+        result["rows"][0]["seconds"] = {
+            mode: seconds * 2.0
+            for mode, seconds in result["rows"][0]["seconds"].items()
+        }
+        doctored.write_text(json.dumps(result))
+        slow_key = f"obs_overhead/{result['rows'][0]['engine']}/off"
+
+        assert self._bench(
+            "--suite", "none",
+            "--import-bench", "BENCH_obs_overhead.json",
+            "--baseline", baseline, "--update",
+        ) == 0
+        exit_code = self._bench(
+            "--suite", "none",
+            "--import-bench", str(doctored),
+            "--baseline", baseline, "--check", "--threshold", "0.5",
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert f"REGRESSION: {slow_key}" in out
+
+    def test_report_file_written(self, tmp_path):
+        baseline = str(tmp_path / "baselines.json")
+        report_path = tmp_path / "report.json"
+        self._bench(
+            "--suite", "none",
+            "--import-bench", "BENCH_obs_overhead.json",
+            "--baseline", baseline, "--update",
+        )
+        assert self._bench(
+            "--suite", "none",
+            "--import-bench", "BENCH_obs_overhead.json",
+            "--baseline", baseline,
+            "--report", str(report_path),
+        ) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["schema"] == SCHEMA_VERSION
