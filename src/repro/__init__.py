@@ -19,6 +19,12 @@ Quick start::
     queries = data[:100]
 
     answers = db.multiple_similarity_query(queries, knn_query(10))
+
+Or, through a streaming query session (answers arrive incrementally)::
+
+    session = db.session()
+    for event in session.stream(queries[:16], knn_query(10)):
+        ...  # AnswerEvent / QueryCompleted
 """
 
 from repro.core import (
@@ -40,11 +46,19 @@ from repro.core import (
 from repro.costmodel import CostModel, Counters
 from repro.data import GenericDataset, VectorDataset, as_dataset
 from repro.metric import MetricSpace, check_metric_axioms, get_distance
+from repro.service import (
+    AnswerEvent,
+    QueryCompleted,
+    QueryScheduler,
+    QuerySession,
+    Ticket,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Answer",
+    "AnswerEvent",
     "AnswerList",
     "CostModel",
     "Counters",
@@ -53,8 +67,12 @@ __all__ = [
     "MeasuredRun",
     "MetricSpace",
     "MultiQueryProcessor",
+    "QueryCompleted",
     "QueryPlanner",
+    "QueryScheduler",
+    "QuerySession",
     "QueryType",
+    "Ticket",
     "WorkloadPlan",
     "VectorDataset",
     "as_dataset",

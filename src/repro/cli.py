@@ -4,6 +4,7 @@
 
     python -m repro info                 # versions and components
     python -m repro demo                 # 60-second single-vs-multiple demo
+    python -m repro serve                # dynamic-batching service demo
     python -m repro calibrate [-d DIM]   # time dist/comparison on this machine
     python -m repro experiments [...]    # full evaluation (run_all)
     python -m repro report METRICS.json  # pretty-print an observability run
@@ -97,6 +98,103 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{multi.total_seconds:8.3f} modelled seconds "
         f"({single.total_seconds / multi.total_seconds:.1f}x)"
     )
+    _flush_observer(observer, args)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive N simulated clients through the dynamic-batching scheduler."""
+    from repro import Database, knn_query
+    from repro.obs import Observer
+    from repro.workloads import make_gaussian_mixture, sample_database_queries
+
+    dataset = make_gaussian_mixture(
+        n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
+    )
+    observer = _make_observer(args) or Observer(trace=False)
+    database = Database(
+        dataset, access=args.access, engine=args.engine, observer=observer
+    )
+    print("database:", database.summary())
+    scheduler = database.serve(
+        block_target=args.block_target,
+        max_block=args.max_block,
+        max_wait=args.max_wait,
+        order=args.order,
+    )
+    if args.plan:
+        from repro.core.planner import QueryPlanner
+
+        planner = QueryPlanner(dataset, candidates=(args.access,))
+        plan = planner.plan(
+            args.clients * args.queries_per_client,
+            knn_query(args.k),
+            max_block_size=args.max_block,
+        )
+        scheduler.replan(plan.fits)
+        print(plan.describe())
+        print(
+            f"scheduler adopted block target {scheduler.block_target}"
+            f" (recommended access: {scheduler.recommended_access})"
+        )
+
+    # A deterministic round-robin request trace: each simulated client
+    # submits its queries in turn, with idle polls interleaved so the
+    # deadline rule exercises partially filled blocks.
+    indices = sample_database_queries(
+        dataset, args.clients * args.queries_per_client, seed=1
+    )
+    tickets = []
+    position = 0
+    for round_index in range(args.queries_per_client):
+        for client in range(args.clients):
+            tickets.append(
+                scheduler.submit(
+                    dataset[indices[position]],
+                    knn_query(args.k),
+                    client_id=client,
+                )
+            )
+            position += 1
+        scheduler.poll()
+    scheduler.drain()
+    assert all(ticket.done for ticket in tickets)
+
+    snapshot = observer.metrics.snapshot()
+    histograms = snapshot.get("histograms", {})
+    occupancy = histograms.get("service.batch_occupancy")
+    ttfa = histograms.get("service.time_to_first_answer.seconds")
+    latency = histograms.get("service.client_latency.seconds")
+    waits = histograms.get("service.wait.ticks")
+    print(
+        f"served {len(tickets)} queries from {args.clients} clients "
+        f"in {occupancy['count'] if occupancy else 0} blocks"
+    )
+    if occupancy:
+        print(
+            f"  batch occupancy: mean {occupancy['mean']:.2f}"
+            f"  p95 {occupancy['p95']:.0f}  max {occupancy['max']:.0f}"
+            f"  (target {scheduler.block_target})"
+        )
+    if ttfa:
+        print(
+            f"  time to first answer: mean {ttfa['mean'] * 1e3:.3f} ms"
+            f"  p95 {ttfa['p95'] * 1e3:.3f} ms"
+        )
+    if latency:
+        print(
+            f"  client latency: mean {latency['mean'] * 1e3:.3f} ms"
+            f"  p95 {latency['p95'] * 1e3:.3f} ms"
+        )
+    if waits:
+        print(
+            f"  queue wait: mean {waits['mean']:.2f} ticks"
+            f"  max {waits['max']:.0f} ticks"
+        )
+    per_client: dict[int, int] = {}
+    for ticket in tickets:
+        per_client[ticket.client_id] = per_client.get(ticket.client_id, 0) + 1
+    print(f"  per-client completions: {sorted(per_client.values())}")
     _flush_observer(observer, args)
     return 0
 
@@ -244,6 +342,48 @@ def main(argv: list[str] | None = None) -> int:
         "avoidance hit-rate per figure sweep point) as JSON",
     )
     experiments.set_defaults(func=_cmd_experiments)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="dynamic-batching query-service demo with simulated clients",
+    )
+    serve.add_argument("--objects", type=int, default=15_000)
+    serve.add_argument("--clients", type=int, default=8)
+    serve.add_argument("--queries-per-client", type=int, default=6)
+    serve.add_argument("-k", type=int, default=10, help="neighbours per query")
+    serve.add_argument(
+        "--access",
+        default="xtree",
+        choices=["scan", "xtree", "mtree", "rstar", "vafile"],
+    )
+    serve.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", *engine_names()],
+    )
+    serve.add_argument("--block-target", type=int, default=8)
+    serve.add_argument("--max-block", type=int, default=32)
+    serve.add_argument(
+        "--max-wait",
+        type=int,
+        default=16,
+        help="deadline in logical ticks before a partial block flushes",
+    )
+    serve.add_argument(
+        "--order",
+        default="fifo",
+        choices=["fifo", "affinity"],
+        help="block ordering behind the FIFO driver",
+    )
+    serve.add_argument(
+        "--plan",
+        action="store_true",
+        help="probe a planner cost fit first and adopt its knee-point "
+        "block target",
+    )
+    serve.add_argument("--trace", default=None, metavar="FILE")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE")
+    serve.set_defaults(func=_cmd_serve)
 
     report = subparsers.add_parser(
         "report", help="pretty-print a metrics snapshot and/or trace"

@@ -250,15 +250,74 @@ class Database:
             **kwargs,
         )
 
+    def session(
+        self,
+        engine: str | None = None,
+        use_avoidance: bool = True,
+        max_pivots: int | None = None,
+        seed_from_queries: bool = False,
+        warm_start: bool = False,
+        matrix_mode: str = "eager",
+    ) -> Any:
+        """Open a streaming :class:`~repro.service.QuerySession`.
+
+        The Def. 4 partial-answer buffer as a first-class handle:
+        ``submit``/``partial_answers``/``retire`` manage the buffer,
+        ``stream`` yields the driver's answers incrementally as pages
+        are processed, ``ask``/``run`` are the drained (batch) forms.
+        """
+        from repro.service.session import QuerySession
+
+        return QuerySession(
+            self,
+            engine=engine,
+            use_avoidance=use_avoidance,
+            max_pivots=max_pivots,
+            seed_from_queries=seed_from_queries,
+            warm_start=warm_start,
+            matrix_mode=matrix_mode,
+        )
+
+    def serve(
+        self,
+        block_target: int = 8,
+        max_block: int = 32,
+        max_wait: int = 16,
+        max_queue: int = 256,
+        order: str = "fifo",
+        fits: Sequence[Any] | None = None,
+        **session_options: Any,
+    ) -> Any:
+        """Open a dynamic-batching :class:`~repro.service.QueryScheduler`.
+
+        Clients ``submit`` single queries and receive tickets; the
+        scheduler forms multiple-query blocks automatically (Sec. 3.3)
+        and flushes them through a shared session.  Pass the cost
+        ``fits`` of a :class:`~repro.core.planner.QueryPlanner` probe to
+        install the knee-point block target.
+        """
+        from repro.service.scheduler import QueryScheduler
+
+        return QueryScheduler(
+            self,
+            block_target=block_target,
+            max_block=max_block,
+            max_wait=max_wait,
+            max_queue=max_queue,
+            order=order,
+            fits=fits,
+            **session_options,
+        )
+
     def multiple_similarity_query(
         self,
         query_objs: Sequence[Any],
         qtypes: Sequence[QueryType] | QueryType,
         use_avoidance: bool = True,
     ) -> list[list[Answer]]:
-        """Answer a batch of queries completely via one shared processor."""
-        processor = self.processor(use_avoidance=use_avoidance)
-        return processor.query_all(query_objs, qtypes)
+        """Answer a batch of queries completely via one shared session."""
+        session = self.session(use_avoidance=use_avoidance)
+        return session.run(query_objs, qtypes)
 
     def run_in_blocks(
         self,

@@ -22,7 +22,7 @@ queries still pending.
 from __future__ import annotations
 
 import math
-from typing import Any, Hashable, Sequence
+from typing import Any, Hashable, Iterator, Sequence
 
 import numpy as np
 
@@ -339,6 +339,10 @@ class MultiQueryProcessor:
     # Query processing
     # ------------------------------------------------------------------
 
+    def lookup(self, key: Hashable) -> PendingQuery | None:
+        """The buffered query registered under ``key``, if any."""
+        return self._pending.get(key)
+
     def process(
         self,
         query_objs: Sequence[Any],
@@ -350,6 +354,26 @@ class MultiQueryProcessor:
 
         Completes the first query and returns its answers; the other
         queries accumulate partial answers in the buffer.
+        """
+        driver, others = self.prepare(query_objs, qtypes, keys, db_indices)
+        if not driver.complete:
+            self._drive(driver, others)
+        return driver.answers.materialize()
+
+    def prepare(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        keys: Sequence[Hashable] | None = None,
+        db_indices: Sequence[int | None] | None = None,
+    ) -> tuple[PendingQuery, list[PendingQuery]]:
+        """Admit a batch and return ``(driver, others)`` ready to drive.
+
+        Everything :meth:`process` does short of the drive itself:
+        validation, buffer restore/admission, duplicate folding, radius
+        seeding and warm start.  :class:`~repro.service.QuerySession`
+        uses this entry point to run the same preparation as the batch
+        path before streaming the drive page by page.
         """
         qtypes = self._broadcast_types(qtypes, len(query_objs))
         if len(query_objs) != len(qtypes):
@@ -376,15 +400,12 @@ class MultiQueryProcessor:
             p for p in pendings if not (id(p) in seen or seen.add(id(p)))
         ]
         if self.seed_from_queries:
-            self._seed_radius_hints(pendings)
+            self.seed_radius_hints(pendings)
         if self.warm_start:
-            self._warm_up(pendings)
-        driver = pendings[0]
-        if not driver.complete:
-            self._drive(driver, pendings[1:])
-        return driver.answers.materialize()
+            self.warm_up(pendings)
+        return pendings[0], pendings[1:]
 
-    def _warm_up(self, pendings: Sequence[PendingQuery]) -> None:
+    def warm_up(self, pendings: Sequence[PendingQuery]) -> None:
         """Process each new query's best page to tighten its radius."""
         counters = self.space.counters
         for pending in pendings:
@@ -411,7 +432,7 @@ class MultiQueryProcessor:
             if len(pending.processed_pages) >= self._n_data_pages:
                 self._mark_complete(pending)
 
-    def _seed_radius_hints(self, pendings: Sequence[PendingQuery]) -> None:
+    def seed_radius_hints(self, pendings: Sequence[PendingQuery]) -> None:
         """Derive radius upper bounds from the query-distance matrix.
 
         For a k-NN query whose batch contains at least k other queries
@@ -491,6 +512,26 @@ class MultiQueryProcessor:
     def _drive_inner(
         self, driver: PendingQuery, others: Sequence[PendingQuery]
     ) -> None:
+        for _ in self.drive_pages(driver, others):
+            pass
+
+    def drive_pages(
+        self, driver: PendingQuery, others: Sequence[PendingQuery]
+    ) -> "Iterator[float]":
+        """Page-step generator behind both execution paths.
+
+        This is the loop of Fig. 4: pull the next relevant page from the
+        driver's stream, read it, and evaluate the batch against it.
+        Before each page is read, the generator yields the page's lower
+        bound on the driver distance.  Because page streams deliver
+        pages in non-decreasing lower-bound order, every current driver
+        answer strictly below that bound is final -- this is the hook
+        :class:`~repro.service.QuerySession` uses to stream confirmed
+        answers incrementally (Def. 4), while the batch path simply
+        drains the generator.  Draining without acting on the yields is
+        exactly the pre-generator loop: answers and counters are
+        byte-identical.
+        """
         stream = self.access.page_stream(driver.obj)
         counters = self.space.counters
         while True:
@@ -500,6 +541,7 @@ class MultiQueryProcessor:
             lower_bound, page = item
             if page.page_id in driver.processed_pages:
                 continue
+            yield lower_bound
             self.disk.read(
                 page, sequential=self.access.sequential_data_access
             )
@@ -558,42 +600,23 @@ def run_in_blocks(
     This is the evaluation setup of Sec. 5: memory bounds the number of
     simultaneously buffered queries, so a workload of M queries runs as
     ``M / m`` independent multiple similarity queries.  Each block gets a
-    fresh processor (fresh answer buffer and query-distance matrix); the
+    fresh session (fresh answer buffer and query-distance matrix); the
     disk's LRU buffer persists across blocks like a DBMS buffer would.
+
+    The implementation lives in :mod:`repro.service.session` -- each
+    block is one :class:`~repro.service.QuerySession` drained to
+    completion -- and is re-exported here for backwards compatibility.
     """
-    if block_size < 1:
-        raise ValueError("block size must be positive")
-    qtypes = MultiQueryProcessor._broadcast_types(qtypes, len(query_objs))
-    if len(qtypes) != len(query_objs):
-        raise ValueError("need one query type per query object")
-    observer = getattr(database, "observer", None)
-    results: list[list[Answer]] = []
-    for block_index, start in enumerate(range(0, len(query_objs), block_size)):
-        processor = MultiQueryProcessor(
-            database,
-            engine=engine,
-            use_avoidance=use_avoidance,
-            max_pivots=max_pivots,
-            seed_from_queries=db_indices is not None,
-            warm_start=warm_start,
-        )
-        block_objs = query_objs[start : start + block_size]
-        block_types = qtypes[start : start + block_size]
-        block_indices = (
-            db_indices[start : start + block_size] if db_indices is not None else None
-        )
-        if observer is not None:
-            # One ``block.flush`` span per completed block: the moment
-            # the buffered partial answers of Fig. 4 are fully drained.
-            with observer.phase(
-                "block.flush", block=block_index, size=len(block_objs)
-            ):
-                block_results = processor.query_all(
-                    block_objs, block_types, db_indices=block_indices
-                )
-        else:
-            block_results = processor.query_all(
-                block_objs, block_types, db_indices=block_indices
-            )
-        results.extend(block_results)
-    return results
+    from repro.service.session import run_in_blocks as _run_in_blocks
+
+    return _run_in_blocks(
+        database,
+        query_objs,
+        qtypes,
+        block_size,
+        engine=engine,
+        use_avoidance=use_avoidance,
+        max_pivots=max_pivots,
+        db_indices=db_indices,
+        warm_start=warm_start,
+    )

@@ -108,7 +108,15 @@ class QueryPlanner:
         }
 
     def _probe(self, database: Database, qtype: QueryType) -> CostFit:
-        indices = sample_database_queries(self.dataset, self.probe_queries, self.seed)
+        # Clamp the probe sample to the dataset: sampling more queries
+        # than there are objects would repeat objects, and repeated
+        # queries fold into one buffered query inside a block while the
+        # single-query probe pays each repeat fully -- inflating the
+        # apparent sharing and producing degenerate fits on tiny
+        # datasets.  With fewer than two distinct probes no two-point
+        # fit exists; the cost curve degrades to a flat marginal cost.
+        n_probe = min(self.probe_queries, len(self.dataset))
+        indices = sample_database_queries(self.dataset, n_probe, self.seed)
         queries = [self.dataset[i] for i in indices]
         # Point 1: single queries (m = 1).
         database.cold()

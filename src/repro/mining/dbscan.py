@@ -82,7 +82,7 @@ def dbscan(
     n = len(database.dataset)
     labels = np.full(n, _UNCLASSIFIED, dtype=int)
     qtype = range_query(eps)
-    processor = database.processor(seed_from_queries=False)
+    session = database.session(seed_from_queries=False)
     queries_issued = 0
     observer = getattr(database, "observer", None)
 
@@ -99,17 +99,17 @@ def dbscan(
         ):
             queries_issued += 1
             if batch_size == 1:
-                answers = processor.process(
+                answers = session.ask(
                     [database.dataset[seeds[0]]], [qtype], keys=[seeds[0]]
                 )
             else:
                 window = seeds[:batch_size]
-                answers = processor.process(
+                answers = session.ask(
                     [database.dataset[i] for i in window],
                     [qtype] * len(window),
                     keys=window,
                 )
-            processor.retire(seeds[0])
+            session.retire(seeds[0])
             return [a.index for a in answers]
 
     cluster_id = 0

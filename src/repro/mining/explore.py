@@ -18,9 +18,9 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.answers import Answer
 from repro.core.database import Database
-from repro.core.multi_query import MultiQueryProcessor
 from repro.core.types import QueryType
 from repro.obs.observer import maybe_phase
+from repro.service.session import QuerySession
 
 
 @dataclass
@@ -121,15 +121,16 @@ def explore_neighborhoods_multiple(
     callbacks: ExplorationCallbacks | None = None,
     batch_size: int = 16,
     max_iterations: int | None = None,
-    processor: MultiQueryProcessor | None = None,
+    session: QuerySession | None = None,
 ) -> ExplorationStats:
     """The multiple-query scheme of Fig. 3.
 
     Performs exactly the same task as :func:`explore_neighborhoods`
     (identical visit order, identical callback invocations); the only
     difference is that each iteration hands the first ``batch_size``
-    control-list objects to one multiple similarity query, letting the
-    processor prefetch partial answers for the objects that will be
+    control-list objects to one multiple similarity query through a
+    shared :class:`~repro.service.QuerySession`, letting the session
+    buffer prefetch partial answers for the objects that will be
     selected in later iterations.
     """
     if batch_size < 1:
@@ -139,9 +140,8 @@ def explore_neighborhoods_multiple(
     control: dict[int, None] = dict.fromkeys(int(i) for i in start_objects)
     ever_enqueued = set(control)
     stats = ExplorationStats()
-    proc = processor if processor is not None else database.processor(
-        seed_from_queries=True
-    )
+    if session is None:
+        session = database.session(seed_from_queries=True)
     observer = getattr(database, "observer", None)
 
     with maybe_phase(
@@ -166,7 +166,7 @@ def explore_neighborhoods_multiple(
             ):
                 if callbacks.proc_1 is not None:
                     callbacks.proc_1(first)
-                answers = proc.process(
+                answers = session.ask(
                     [database.dataset[i] for i in batch],
                     [sim_type] * len(batch),
                     keys=batch,
@@ -180,7 +180,7 @@ def explore_neighborhoods_multiple(
                     int(i) for i in filter_fn(first, answers) if i not in ever_enqueued
                 ]
                 del control[first]
-                proc.retire(first)
+                session.retire(first)
                 for index in fresh:
                     control[index] = None
                     ever_enqueued.add(index)

@@ -88,14 +88,15 @@ def detect_trends(
         Neighbours retrieved per step; the next path object is a random
         unvisited neighbour.
 
-    Each path's queries run through one shared multiple-query processor,
-    so neighbourhood pages are shared between path steps.
+    Each path's queries run through one shared
+    :class:`~repro.service.QuerySession`, so neighbourhood pages are
+    shared between path steps.
     """
     attribute = np.asarray(attribute, dtype=float)
     if attribute.shape[0] != len(database.dataset):
         raise ValueError("attribute must have one value per dataset object")
     rng = np.random.default_rng(seed)
-    processor = database.processor(seed_from_queries=False)
+    session = database.session(seed_from_queries=False)
     result = TrendResult(start=int(start))
     start_obj = database.dataset[start]
     qtype = knn_query(k)
@@ -117,7 +118,7 @@ def detect_trends(
                     path=path_index,
                     obj=current,
                 ):
-                    answers = processor.process(
+                    answers = session.ask(
                         [database.dataset[current]], [qtype], keys=[("trend", current)]
                     )
                 candidates = [a.index for a in answers if a.index not in visited]

@@ -129,6 +129,29 @@ def entries_from_obs_overhead(result: Mapping[str, Any]) -> dict[str, dict]:
     return entries
 
 
+def entries_from_service(result: Mapping[str, Any]) -> dict[str, dict]:
+    """Convert a ``BENCH_service.json`` payload into store entries.
+
+    Each row carries wall-clock seconds *and* the run's deterministic
+    cost counters, so the scheduler-throughput guard has the same exact
+    counter signal as the quick suite.
+    """
+    entries: dict[str, dict] = {}
+    for row in result.get("rows", []):
+        entries[f"service/{row['order']}/knn"] = make_entry(
+            row["seconds"],
+            counters=row.get("counters"),
+            meta={
+                "n_objects": row.get("n_objects"),
+                "n_clients": row.get("n_clients"),
+                "n_queries": row.get("n_queries"),
+                "block_target": row.get("block_target"),
+                "queries_per_second": row.get("queries_per_second"),
+            },
+        )
+    return entries
+
+
 def entries_from_bench_file(path: str) -> dict[str, dict]:
     """Convert a committed ``BENCH_*.json`` file, dispatching on its kind."""
     with open(path) as handle:
@@ -138,6 +161,8 @@ def entries_from_bench_file(path: str) -> dict[str, dict]:
         return entries_from_engine_kernels(result)
     if kind == "obs_overhead":
         return entries_from_obs_overhead(result)
+    if kind == "service":
+        return entries_from_service(result)
     raise ValueError(f"unknown benchmark kind {kind!r} in {path!r}")
 
 

@@ -26,6 +26,10 @@ def _fmt_seconds(value: float) -> str:
     return f"{value * 1e6:8.1f} us"
 
 
+def _fmt_number(value: float) -> str:
+    return f"{value:10.2f}"
+
+
 def _section(title: str) -> list[str]:
     return [title, "-" * len(title)]
 
@@ -68,11 +72,15 @@ def summarize_metrics(snapshot: dict[str, Any]) -> str:
             label = name
             if label.startswith("phase.") and label.endswith(".seconds"):
                 label = label[len("phase."):-len(".seconds")]
+            # Histograms whose name does not end in ".seconds" hold
+            # plain quantities (batch occupancy, queue waits in ticks),
+            # not latencies.
+            fmt = _fmt_seconds if name.endswith(".seconds") else _fmt_number
             lines.append(
                 f"  {label:<28}{h['count']:>8}"
-                f"{_fmt_seconds(h['sum']):>12}{_fmt_seconds(h['mean']):>12}"
-                f"{_fmt_seconds(h['p50']):>12}{_fmt_seconds(h['p95']):>12}"
-                f"{_fmt_seconds(h['p99']):>12}{_fmt_seconds(h['max']):>12}"
+                f"{fmt(h['sum']):>12}{fmt(h['mean']):>12}"
+                f"{fmt(h['p50']):>12}{fmt(h['p95']):>12}"
+                f"{fmt(h['p99']):>12}{fmt(h['max']):>12}"
             )
 
     events = {

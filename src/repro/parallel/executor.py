@@ -53,8 +53,8 @@ import numpy as np
 
 from repro.core.answers import Answer
 from repro.core.database import Database, MeasuredRun
-from repro.core.multi_query import MultiQueryProcessor
 from repro.core.types import QueryType
+from repro.service.session import QuerySession
 from repro.costmodel import Counters
 from repro.data import Dataset, GenericDataset, VectorDataset, as_dataset
 from repro.metric.distances import DistanceFunction
@@ -186,7 +186,7 @@ def _slice_dataset(dataset: Dataset, indices: np.ndarray) -> Dataset:
 # ProcessPoolExecutor, so consecutive tasks for one server run in the
 # same OS process and can reuse per-server state cached here: the
 # partition's database (index build happens once) and, between the two
-# phases of one block, the admitted multiple-query processor.
+# phases of one block, the admitted query session.
 
 #: Per-process cache: ``(shm_name, server_id) -> {"database", "block"}``.
 _WORKER_STATE: dict[tuple[str, int], dict[str, Any]] = {}
@@ -231,20 +231,22 @@ def _worker_phase1(
     """Admit a block and warm up the queries homed at this server.
 
     Returns the home candidate bounds to broadcast (position -> radius);
-    the admitted processor is cached for :func:`_worker_phase2`.
+    the admitted session is cached for :func:`_worker_phase2`.
     """
     state = _worker_server(setup)
     database = state["database"]
     start = time.perf_counter()
     snapshot = database.counters.copy()
-    processor = database.processor(
+    session = database.session(
         use_avoidance=payload["use_avoidance"],
         warm_start=payload["warm_start"],
         seed_from_queries=payload["db_indices"] is not None,
     )
     keys = _block_keys(payload["db_indices"], len(payload["objs"]))
-    pendings = [
-        processor.admit(
+    for position, (obj, qtype) in enumerate(
+        zip(payload["objs"], payload["qtypes"])
+    ):
+        session.submit(
             obj,
             qtype,
             key=keys[position],
@@ -254,27 +256,21 @@ def _worker_phase1(
                 else None
             ),
         )
-        for position, (obj, qtype) in enumerate(
-            zip(payload["objs"], payload["qtypes"])
-        )
-    ]
     if payload["db_indices"] is not None:
-        processor._seed_radius_hints(pendings)
+        session.seed_radius_hints(keys)
     if payload["seed_radius"] is not None:
-        for pending, radius in zip(pendings, payload["seed_radius"]):
-            if radius < pending.radius_hint:
-                pending.radius_hint = float(radius)
+        for key, radius in zip(keys, payload["seed_radius"]):
+            session.bound_radius(key, float(radius))
     bounds: dict[int, float] = {}
     for position in payload["home_positions"]:
-        pending = pendings[position]
-        if not pending.qtype.adapts_radius:
+        if not payload["qtypes"][position].adapts_radius:
             continue
-        processor._warm_up([pending])
-        radius = pending.radius
+        session.warm_up([keys[position]])
+        radius = session.radius(keys[position])
         if radius < float("inf"):
             bounds[position] = radius
     state["block"] = {
-        "processor": processor,
+        "session": session,
         "payload": payload,
         "keys": keys,
         "snapshot": snapshot,
@@ -294,14 +290,12 @@ def _worker_phase2(
     """
     state = _WORKER_STATE[(setup["shm_name"], setup["server_id"])]
     block = state["block"]
-    processor = block["processor"]
+    session = block["session"]
     payload = block["payload"]
     start = time.perf_counter()
     for position, bound in foreign_bounds.items():
-        pending = processor._pending[block["keys"][position]]
-        if bound < pending.radius_hint:
-            pending.radius_hint = float(bound)
-    results = processor.query_all(
+        session.bound_radius(block["keys"][position], float(bound))
+    results = session.run(
         payload["objs"],
         payload["qtypes"],
         keys=block["keys"],
@@ -651,51 +645,49 @@ class ParallelDatabase:
         share_home_bounds: bool,
     ) -> list[list[list[Answer]]]:
         """One parallel multiple similarity query over all servers."""
-        processors: list[MultiQueryProcessor] = []
+        keys = [block.key(p) for p in range(len(block.objs))]
+        sessions: list[QuerySession] = []
         for server in self.servers:
-            processor = server.database.processor(
+            session = server.database.session(
                 use_avoidance=use_avoidance,
                 warm_start=warm_start,
                 seed_from_queries=block.db_indices is not None,
             )
-            pendings = [
-                processor.admit(
+            for position, (obj, qtype) in enumerate(
+                zip(block.objs, block.qtypes)
+            ):
+                session.submit(
                     obj,
                     qtype,
-                    key=block.key(position),
+                    key=keys[position],
                     db_index=(
                         block.db_indices[position]
                         if block.db_indices is not None
                         else None
                     ),
                 )
-                for position, (obj, qtype) in enumerate(
-                    zip(block.objs, block.qtypes)
-                )
-            ]
             if block.db_indices is not None:
-                processor._seed_radius_hints(pendings)
+                session.seed_radius_hints(keys)
             if block.seed_radius is not None:
-                for pending, radius in zip(pendings, block.seed_radius):
-                    if radius < pending.radius_hint:
-                        pending.radius_hint = float(radius)
-            processors.append(processor)
+                for key, radius in zip(keys, block.seed_radius):
+                    session.bound_radius(key, float(radius))
+            sessions.append(session)
 
         if share_home_bounds and block.db_indices is not None:
-            self._broadcast_home_bounds(processors, block)
+            self._broadcast_home_bounds(sessions, block)
 
         return [
-            processor.query_all(
+            session.run(
                 block.objs,
                 block.qtypes,
-                keys=[block.key(p) for p in range(len(block.objs))],
+                keys=keys,
                 db_indices=block.db_indices,
             )
-            for processor in processors
+            for session in sessions
         ]
 
     def _broadcast_home_bounds(
-        self, processors: list[MultiQueryProcessor], block: _Block
+        self, sessions: list[QuerySession], block: _Block
     ) -> None:
         """Phase 1 of the coordinated parallel k-NN (after [1]).
 
@@ -711,21 +703,18 @@ class ParallelDatabase:
             home = self._home_server.get(int(global_index))
             if home is None:
                 continue
-            processor = processors[home]
-            pending = processor._pending[block.key(position)]
-            if not pending.qtype.adapts_radius:
+            if not block.qtypes[position].adapts_radius:
                 continue
-            processor._warm_up([pending])
-            radius = pending.radius
+            key = block.key(position)
+            sessions[home].warm_up([key])
+            radius = sessions[home].radius(key)
             if radius < float("inf"):
                 bounds[position] = radius
-        for s, processor in enumerate(processors):
+        for s, session in enumerate(sessions):
             for position, bound in bounds.items():
                 if self._home_server.get(int(block.db_indices[position])) == s:
                     continue
-                pending = processor._pending[block.key(position)]
-                if bound < pending.radius_hint:
-                    pending.radius_hint = bound
+                session.bound_radius(block.key(position), bound)
 
     @staticmethod
     def _merge(qtype: QueryType, per_server: list[list[Answer]]) -> list[Answer]:

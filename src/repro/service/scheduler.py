@@ -1,0 +1,387 @@
+"""Dynamic batching of similarity queries from concurrent clients.
+
+Sec. 3.3 of the paper argues that once the multiple similarity query
+exists as a DBMS operator, "a query optimizer can automatically use"
+it -- queries arriving independently should be *formed into blocks* by
+the system, not by every caller hand-rolling ``run_in_blocks``.
+:class:`QueryScheduler` is that optimizer stage, shaped like an
+inference-serving dynamic batcher:
+
+* clients :meth:`~QueryScheduler.submit` single queries and receive a
+  :class:`Ticket`; the scheduler accumulates them in an admission queue;
+* a block is flushed to a :class:`~repro.service.session.QuerySession`
+  when the queue reaches the *block target*, when the oldest ticket has
+  waited past the *deadline*, or when *queue pressure* exceeds the hard
+  cap -- whichever comes first;
+* the block target itself comes from the
+  :class:`~repro.core.planner.QueryPlanner` cost fits when available:
+  ``cost(m) = shared/m + marginal`` flattens quickly, so the scheduler
+  picks the knee point -- the smallest m within ``tolerance`` of the
+  asymptotic per-query cost -- rather than batching without bound;
+* the *driver* of each block is always the oldest ticket (FIFO -- no
+  client starves); with ``order="affinity"`` the remaining queries are
+  arranged in a greedy nearest-neighbour chain starting from the
+  driver, keeping the query-distance matrix entries small so the
+  Lemma 1/2 avoidance bounds stay tight.  Ordering uses *uncounted*
+  distances: it is planning work, not query work, and answers are
+  independent of block order.
+
+Time is a **logical tick clock** advanced on every submit/poll, so
+scheduling decisions are a pure function of the request sequence --
+deterministic and testable, with wall-clock latency reported only
+through the observer metrics (``service.client_latency.seconds``,
+``service.time_to_first_answer.seconds``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
+
+from repro.core.answers import Answer
+from repro.core.types import QueryType
+from repro.service.session import QueryCompleted, QuerySession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.planner import CostFit
+
+ORDER_FIFO = "fifo"
+ORDER_AFFINITY = "affinity"
+
+#: Relative slack used for the knee-point block target: the smallest
+#: block size whose predicted per-query cost is within this fraction of
+#: the cost at the maximum block size.
+DEFAULT_KNEE_TOLERANCE = 0.1
+
+
+def knee_block_size(
+    fit: "CostFit", max_block: int, tolerance: float = DEFAULT_KNEE_TOLERANCE
+) -> int:
+    """Smallest block size within ``tolerance`` of the asymptotic cost.
+
+    The fitted per-query cost ``shared/m + marginal`` decreases
+    monotonically in m with diminishing returns; batching beyond the
+    knee buys almost nothing but costs every client queueing delay.
+    """
+    if max_block < 1:
+        raise ValueError("max block size must be positive")
+    asymptote = fit.per_query(max_block)
+    for m in range(1, max_block + 1):
+        if fit.per_query(m) <= asymptote * (1.0 + tolerance):
+            return m
+    return max_block
+
+
+def recommend_access(fits: Sequence["CostFit"], block_size: int) -> str:
+    """Cheapest access method among ``fits`` at a given block size."""
+    if not fits:
+        raise ValueError("need at least one cost fit")
+    best = min(fits, key=lambda fit: fit.per_query(block_size))
+    return best.access
+
+
+@dataclass
+class Ticket:
+    """One client query's handle through the scheduler.
+
+    ``answers`` is ``None`` until the scheduler flushes a block
+    containing the ticket; afterwards it holds the complete answer list
+    (byte-identical to a direct batch query).
+    """
+
+    client_id: Hashable
+    obj: Any
+    qtype: QueryType
+    key: Hashable
+    db_index: int | None
+    submitted_tick: int
+    submitted_at: float = field(repr=False, default=0.0)
+    answers: list[Answer] | None = None
+    completed_tick: int | None = None
+    batch_size: int | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the ticket's block has been flushed."""
+        return self.answers is not None
+
+
+class QueryScheduler:
+    """Admission queue + dynamic batcher over one database.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.core.database.Database` to serve.
+    block_target:
+        Queue occupancy that triggers a flush.  Overridden by the knee
+        point of ``fits`` when cost fits are supplied.
+    max_block:
+        Hard cap on the size of one flushed block (the memory bound of
+        Sec. 5: answer buffer and O(m^2) query-distance matrix).
+    max_wait:
+        Deadline in logical ticks: once the oldest waiting ticket is
+        this old, the next submit/poll flushes whatever is queued.
+    max_queue:
+        Queue-pressure bound: submits beyond this depth flush
+        immediately (in ``max_block`` chunks) before admitting.
+    order:
+        ``"fifo"`` or ``"affinity"`` (greedy nearest-neighbour chain
+        after the FIFO driver; see module docstring).
+    fits:
+        Optional :class:`~repro.core.planner.CostFit` sequence from a
+        probe run; installs the knee-point block target and the access
+        recommendation (see :meth:`replan`).
+    session_options:
+        Extra keyword arguments for the underlying
+        :class:`~repro.service.session.QuerySession` (engine,
+        use_avoidance, max_pivots, matrix_mode, warm_start).
+    """
+
+    def __init__(
+        self,
+        database: Any,
+        block_target: int = 8,
+        max_block: int = 32,
+        max_wait: int = 16,
+        max_queue: int = 256,
+        order: str = ORDER_FIFO,
+        fits: Sequence["CostFit"] | None = None,
+        knee_tolerance: float = DEFAULT_KNEE_TOLERANCE,
+        **session_options: Any,
+    ):
+        if order not in (ORDER_FIFO, ORDER_AFFINITY):
+            raise ValueError(f"unknown scheduling order {order!r}")
+        if max_block < 1:
+            raise ValueError("max block size must be positive")
+        if block_target < 1:
+            raise ValueError("block target must be positive")
+        if max_wait < 0:
+            raise ValueError("deadline must be non-negative")
+        self.database = database
+        self.session = QuerySession(database, **session_options)
+        self.observer = self.session.observer
+        self.max_block = max_block
+        self.block_target = min(block_target, max_block)
+        self.max_wait = max_wait
+        self.max_queue = max_queue
+        self.order = order
+        self.knee_tolerance = knee_tolerance
+        self.tick = 0
+        self.recommended_access: str | None = None
+        self._queue: list[Ticket] = []
+        self._serial = 0
+        self._n_flushed_blocks = 0
+        if fits:
+            self.replan(fits)
+
+    # ------------------------------------------------------------------
+    # Planner feedback
+    # ------------------------------------------------------------------
+
+    def replan(self, fits: Sequence["CostFit"]) -> None:
+        """Adopt planner cost fits: knee-point target + access choice.
+
+        The scheduler keeps serving through its current database either
+        way -- :attr:`recommended_access` is advisory, surfaced so a
+        caller holding a :class:`~repro.core.planner.QueryPlanner` can
+        re-home the scheduler when the recommendation diverges.
+        """
+        fits = list(fits)
+        if not fits:
+            raise ValueError("need at least one cost fit")
+        current = self.database.access_method.name
+        own = [fit for fit in fits if fit.access == current]
+        fit = own[0] if own else min(
+            fits, key=lambda f: f.per_query(self.max_block)
+        )
+        self.block_target = knee_block_size(
+            fit, self.max_block, self.knee_tolerance
+        )
+        self.recommended_access = recommend_access(fits, self.block_target)
+        if self.observer is not None:
+            self.observer.event(
+                "service.replan",
+                block_target=self.block_target,
+                recommended_access=self.recommended_access,
+            )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of tickets waiting for a flush."""
+        return len(self._queue)
+
+    def submit(
+        self,
+        obj: Any,
+        qtype: QueryType,
+        client_id: Hashable = 0,
+        db_index: int | None = None,
+    ) -> Ticket:
+        """Admit one client query; may trigger a flush on the way.
+
+        Advances the logical clock by one tick, enqueues the ticket and
+        flushes if the occupancy target, the oldest ticket's deadline or
+        the queue-pressure bound is hit.  The returned ticket is filled
+        in place when its block runs.
+        """
+        self.tick += 1
+        while len(self._queue) >= self.max_queue:
+            self._flush_block()
+        self._serial += 1
+        ticket = Ticket(
+            client_id=client_id,
+            obj=obj,
+            qtype=qtype,
+            key=("serve", self._serial),
+            db_index=db_index,
+            submitted_tick=self.tick,
+            submitted_at=time.perf_counter(),
+        )
+        self._queue.append(ticket)
+        if self.observer is not None:
+            self.observer.event(
+                "service.submit", client=str(client_id), tick=self.tick
+            )
+            self.observer.metrics.set_gauge(
+                "service.queue_depth", float(len(self._queue))
+            )
+        self._maybe_flush()
+        return ticket
+
+    def poll(self) -> None:
+        """Advance the clock one tick and apply the deadline rule.
+
+        Lets an idle client (or a driving loop) age the queue so a
+        partially filled block still flushes within ``max_wait`` ticks.
+        """
+        self.tick += 1
+        self._maybe_flush()
+
+    def drain(self) -> None:
+        """Flush until the queue is empty (end of the serving episode)."""
+        while self._queue:
+            self._flush_block()
+
+    def serve(
+        self, requests: Sequence[tuple[Hashable, Any, QueryType]]
+    ) -> list[Ticket]:
+        """Submit a request trace and drain: one ticket per request.
+
+        ``requests`` is a sequence of ``(client_id, obj, qtype)``
+        triples in arrival order.  Answers land on the tickets.
+        """
+        tickets = [
+            self.submit(obj, qtype, client_id=client_id)
+            for client_id, obj, qtype in requests
+        ]
+        self.drain()
+        return tickets
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        while len(self._queue) >= self.block_target:
+            self._flush_block()
+        if (
+            self._queue
+            and self.tick - self._queue[0].submitted_tick >= self.max_wait
+        ):
+            self._flush_block()
+
+    def _order_batch(self, batch: list[Ticket]) -> list[Ticket]:
+        """Arrange a block behind its FIFO driver.
+
+        The driver (``batch[0]``, the oldest ticket) is fixed -- that is
+        the fairness guarantee.  With affinity ordering, the rest form a
+        greedy nearest-neighbour chain: each next query is the one
+        closest to the previous, computed with uncounted distances
+        (planning work; answers do not depend on block order).
+        """
+        if self.order != ORDER_AFFINITY or len(batch) <= 2:
+            return batch
+        uncounted = self.database.space.uncounted
+        remaining = batch[1:]
+        chain = [batch[0]]
+        while remaining:
+            last = chain[-1]
+            nearest = min(
+                range(len(remaining)),
+                key=lambda i: uncounted(last.obj, remaining[i].obj),
+            )
+            chain.append(remaining.pop(nearest))
+        return chain
+
+    def _flush_block(self) -> None:
+        """Run one block of waiting tickets through the session.
+
+        Exactly the repeated-call pattern of ``query_all`` -- the first
+        call streamed (recording time-to-first-answer), the rest drained
+        -- so the answers match ``run_in_blocks`` on the same grouping,
+        answer for answer and counter for counter.
+        """
+        if not self._queue:
+            return
+        batch = self._order_batch(self._queue[: self.max_block])
+        del self._queue[: min(self.max_block, len(self._queue))]
+        session = self.session
+        observer = self.observer
+        self._n_flushed_blocks += 1
+        objs = [t.obj for t in batch]
+        qtypes = [t.qtype for t in batch]
+        keys = [t.key for t in batch]
+        db_indices: list[int | None] | None = [t.db_index for t in batch]
+        if all(index is None for index in db_indices):
+            db_indices = None
+        if observer is not None:
+            observer.event(
+                "service.flush",
+                block=self._n_flushed_blocks - 1,
+                size=len(batch),
+                tick=self.tick,
+                waited=self.tick - batch[0].submitted_tick,
+            )
+            observer.metrics.observe(
+                "service.batch_occupancy", float(len(batch))
+            )
+            observer.metrics.set_gauge(
+                "service.queue_depth", float(len(self._queue))
+            )
+        for position, ticket in enumerate(batch):
+            sub_indices = (
+                db_indices[position:] if db_indices is not None else None
+            )
+            if position == 0:
+                answers: list[Answer] = []
+                for event in session.stream(
+                    objs[position:], qtypes[position:],
+                    keys[position:], sub_indices,
+                ):
+                    if isinstance(event, QueryCompleted):
+                        answers = list(event.answers)
+            else:
+                answers = session.ask(
+                    objs[position:], qtypes[position:],
+                    keys[position:], sub_indices,
+                )
+            ticket.answers = answers
+            ticket.completed_tick = self.tick
+            ticket.batch_size = len(batch)
+            if observer is not None:
+                observer.metrics.observe(
+                    "service.client_latency.seconds",
+                    time.perf_counter() - ticket.submitted_at,
+                )
+                observer.metrics.observe(
+                    "service.wait.ticks",
+                    float(self.tick - ticket.submitted_tick),
+                )
+        for ticket in batch:
+            session.retire(ticket.key)

@@ -1,0 +1,364 @@
+"""Streaming query sessions: the Def. 4 answer buffer as a public API.
+
+Definition 4 of the paper gives the multiple similarity query
+*incremental* semantics: one call must complete only the first query
+(the "driver"); every other query accumulates partial answers in a
+buffer that later calls restore from.  :class:`QuerySession` turns that
+buffer into a first-class handle instead of an internal of
+:class:`~repro.core.multi_query.MultiQueryProcessor`:
+
+* :meth:`QuerySession.submit` admits a query into the buffer,
+  :meth:`QuerySession.partial_answers` reads its accumulated partial
+  answers, :meth:`QuerySession.retire` recycles its slot;
+* :meth:`QuerySession.stream` is the generator face of one multiple
+  similarity query: it completes the driver while *yielding its answers
+  incrementally* -- an :class:`AnswerEvent` the moment index traversal
+  proves an answer final, then one :class:`QueryCompleted`.  Page
+  streams deliver candidate pages in non-decreasing order of a lower
+  bound on the driver distance (the contract of
+  :class:`~repro.index.base.PageStream`), so any current answer
+  strictly below the next page's bound can never be displaced or
+  preceded: the emitted prefix is stable and the concatenation of all
+  events is byte-identical to the batch answer list;
+* :meth:`QuerySession.ask` / :meth:`QuerySession.run` are the drained
+  (batch) forms, equivalent to ``MultiQueryProcessor.process`` /
+  ``query_all`` answer for answer and counter for counter.
+
+Every execution path of the repository -- the five mining drivers,
+:func:`run_in_blocks`, the shared-nothing parallel executor and the
+:class:`~repro.service.scheduler.QueryScheduler` -- sits on this one
+API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Sequence
+
+from repro.core.answers import Answer
+from repro.core.multi_query import MultiQueryProcessor, default_query_key
+from repro.core.types import QueryType
+from repro.obs.observer import maybe_phase
+
+#: Metric name of the time-to-first-answer histogram (seconds from the
+#: start of a streamed drive to its first confirmed answer).
+TTFA_METRIC = "service.time_to_first_answer.seconds"
+
+
+@dataclass(frozen=True)
+class AnswerEvent:
+    """One confirmed answer of the driving query, streamed incrementally.
+
+    Attributes
+    ----------
+    key:
+        Buffer key of the driving query.
+    answer:
+        The confirmed answer; events arrive in final answer-list order.
+    rank:
+        Position of the answer in the final answer list (0-based).
+    pages_processed:
+        Driver pages processed when the answer was confirmed.
+    early:
+        ``True`` when the answer was confirmed *before* the driver's
+        page stream was exhausted (only possible on distance-ranked
+        streams, i.e. non-sequential access methods).
+    """
+
+    key: Hashable
+    answer: Answer
+    rank: int
+    pages_processed: int
+    early: bool
+
+
+@dataclass(frozen=True)
+class QueryCompleted:
+    """Terminal event of one streamed drive: the complete answer list."""
+
+    key: Hashable
+    answers: tuple[Answer, ...]
+    pages_processed: int
+
+
+class QuerySession:
+    """Streaming multiple-similarity-query handle over one database.
+
+    Parameters mirror :meth:`repro.core.database.Database.processor`;
+    the session owns a private :class:`MultiQueryProcessor` (one answer
+    buffer, one query-distance matrix) whose lifetime is the session's.
+
+    >>> # session = database.session()
+    >>> # for event in session.stream(objs, knn_query(10)):
+    >>> #     ...  # AnswerEvents arrive before the block completes
+    """
+
+    def __init__(
+        self,
+        database: Any,
+        engine: str | None = None,
+        use_avoidance: bool = True,
+        max_pivots: int | None = None,
+        seed_from_queries: bool = False,
+        warm_start: bool = False,
+        matrix_mode: str = "eager",
+        observer: Any = None,
+    ):
+        kwargs = {} if max_pivots is None else {"max_pivots": max_pivots}
+        self.database = database
+        self.processor = MultiQueryProcessor(
+            database,
+            engine=engine,
+            use_avoidance=use_avoidance,
+            seed_from_queries=seed_from_queries,
+            warm_start=warm_start,
+            matrix_mode=matrix_mode,
+            observer=observer,
+            **kwargs,
+        )
+        self.observer = self.processor.observer
+
+    # ------------------------------------------------------------------
+    # The Def. 4 partial-answer buffer, first class
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> list[Hashable]:
+        """Keys of the currently buffered queries, complete or not."""
+        return [p.key for p in self.processor.pending_queries]
+
+    def submit(
+        self,
+        obj: Any,
+        qtype: QueryType,
+        key: Hashable | None = None,
+        db_index: int | None = None,
+    ) -> Hashable:
+        """Admit one query into the session buffer; returns its key.
+
+        Submitting a key that is already buffered restores the existing
+        entry (and its partial answers) instead of registering a new
+        query, exactly as Def. 4 prescribes for repeated calls.
+        """
+        if key is None:
+            key = default_query_key(obj, qtype)
+        self.processor.admit(obj, qtype, key=key, db_index=db_index)
+        return key
+
+    def partial_answers(self, key: Hashable) -> list[Answer]:
+        """Current buffered (partial or complete) answers of one query."""
+        pending = self._lookup(key)
+        return pending.answers.materialize()
+
+    def is_complete(self, key: Hashable) -> bool:
+        """Whether the buffered query has its complete answer set."""
+        return self._lookup(key).complete
+
+    def radius(self, key: Hashable) -> float:
+        """Current query distance of a buffered query."""
+        return self._lookup(key).radius
+
+    def bound_radius(self, key: Hashable, bound: float) -> None:
+        """Install an upper bound on a query's final query distance.
+
+        Sound only when ``bound`` provably dominates the true k-NN
+        distance (e.g. a candidate distance from another server's
+        partition); it tightens page relevance and avoidance but never
+        changes answers.
+        """
+        pending = self._lookup(key)
+        if bound < pending.radius_hint:
+            pending.radius_hint = float(bound)
+
+    def seed_radius_hints(self, keys: Sequence[Hashable] | None = None) -> None:
+        """Seed k-NN radius bounds from the query-distance matrix."""
+        pendings = (
+            self.processor.pending_queries
+            if keys is None
+            else [self._lookup(key) for key in keys]
+        )
+        self.processor.seed_radius_hints(pendings)
+
+    def warm_up(self, keys: Sequence[Hashable] | None = None) -> None:
+        """Process each query's best page to tighten its radius."""
+        pendings = (
+            self.processor.pending_queries
+            if keys is None
+            else [self._lookup(key) for key in keys]
+        )
+        self.processor.warm_up(pendings)
+
+    def retire(self, key: Hashable) -> None:
+        """Drop one buffered query and recycle its matrix slot."""
+        self.processor.retire(key)
+
+    def close(self) -> None:
+        """Drop the whole buffer (end the session)."""
+        self.processor.clear()
+
+    def _lookup(self, key: Hashable) -> Any:
+        pending = self.processor.lookup(key)
+        if pending is None:
+            raise KeyError(f"no query buffered under key {key!r}")
+        return pending
+
+    # ------------------------------------------------------------------
+    # Execution: streamed and drained forms of Fig. 4
+    # ------------------------------------------------------------------
+
+    def stream(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        keys: Sequence[Hashable] | None = None,
+        db_indices: Sequence[int | None] | None = None,
+    ) -> Iterator[AnswerEvent | QueryCompleted]:
+        """One multiple similarity query, streamed (Def. 4).
+
+        Admits the batch, completes the first query and yields its
+        answers incrementally; the other queries accumulate partial
+        answers in the session buffer.  The event sequence ends with one
+        :class:`QueryCompleted` whose ``answers`` equal the batch path's
+        return value exactly.
+        """
+        driver, others = self.processor.prepare(
+            query_objs, qtypes, keys, db_indices
+        )
+        return self._stream_drive(driver, others)
+
+    def _stream_drive(
+        self, driver: Any, others: Sequence[Any]
+    ) -> Iterator[AnswerEvent | QueryCompleted]:
+        processor = self.processor
+        observer = self.observer
+        # Sequential access methods stream pages in physical order, not
+        # distance order, so no answer is provably final before the
+        # stream ends; confirmation then degrades to one flush at
+        # completion.
+        ranked = not processor.access.sequential_data_access
+        emitted = 0
+        pages = 0
+        started = time.perf_counter()
+        key = driver.key
+        if not driver.complete:
+            with maybe_phase(
+                observer, "query.drive", slot=driver.slot, others=len(others)
+            ):
+                for lower_bound in processor.drive_pages(driver, others):
+                    # The page about to be processed -- and every later
+                    # one -- holds only objects at distance >= its lower
+                    # bound, so current answers strictly below it are
+                    # final and already in final list order.
+                    if ranked and len(driver.answers):
+                        current = driver.answers.materialize()
+                        while emitted < len(current):
+                            answer = current[emitted]
+                            if not answer.distance < lower_bound:
+                                break
+                            if emitted == 0 and observer is not None:
+                                self._first_answer(
+                                    observer, started, pages, early=True
+                                )
+                            yield AnswerEvent(key, answer, emitted, pages, True)
+                            emitted += 1
+                    pages += 1
+        final = driver.answers.materialize()
+        if emitted == 0 and final and observer is not None:
+            self._first_answer(observer, started, pages, early=False)
+        for rank in range(emitted, len(final)):
+            yield AnswerEvent(key, final[rank], rank, pages, False)
+        yield QueryCompleted(key, tuple(final), pages)
+
+    @staticmethod
+    def _first_answer(
+        observer: Any, started: float, pages: int, early: bool
+    ) -> None:
+        observer.metrics.observe(TTFA_METRIC, time.perf_counter() - started)
+        observer.event("session.first_answer", pages=pages, early=early)
+
+    def ask(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        keys: Sequence[Hashable] | None = None,
+        db_indices: Sequence[int | None] | None = None,
+    ) -> list[Answer]:
+        """One multiple similarity query, drained: the driver's answers.
+
+        The batch form of :meth:`stream` -- ``MultiQueryProcessor.process``
+        exactly, answer for answer and counter for counter.  It skips the
+        per-page confirmation bookkeeping entirely, so callers that only
+        want the final list pay nothing for the streaming capability.
+        """
+        return self.processor.process(query_objs, qtypes, keys, db_indices)
+
+    def run(
+        self,
+        query_objs: Sequence[Any],
+        qtypes: Sequence[QueryType] | QueryType,
+        keys: Sequence[Hashable] | None = None,
+        retire: bool = True,
+        db_indices: Sequence[int | None] | None = None,
+    ) -> list[list[Answer]]:
+        """Answer every query of a batch completely (Sec. 5.1).
+
+        The repeated-call pattern over the session buffer: one
+        :meth:`ask` per query, each restoring the partial answers the
+        previous calls accumulated.  ``MultiQueryProcessor.query_all``
+        exactly.
+        """
+        return self.processor.query_all(
+            query_objs, qtypes, keys, retire=retire, db_indices=db_indices
+        )
+
+
+def run_in_blocks(
+    database: Any,
+    query_objs: Sequence[Any],
+    qtypes: Sequence[QueryType] | QueryType,
+    block_size: int,
+    engine: str | None = None,
+    use_avoidance: bool = True,
+    max_pivots: int | None = None,
+    db_indices: Sequence[int | None] | None = None,
+    warm_start: bool = False,
+) -> list[list[Answer]]:
+    """Process ``M`` queries in consecutive blocks of ``block_size``.
+
+    The canonical block runner (Sec. 5 evaluation setup): each block is
+    one fresh :class:`QuerySession` drained to completion, so memory
+    stays bounded by the block while the disk's LRU buffer persists
+    across blocks like a DBMS buffer would.  Re-exported as
+    :func:`repro.core.multi_query.run_in_blocks`.
+    """
+    if block_size < 1:
+        raise ValueError("block size must be positive")
+    qtypes_list = MultiQueryProcessor._broadcast_types(qtypes, len(query_objs))
+    if len(qtypes_list) != len(query_objs):
+        raise ValueError("need one query type per query object")
+    observer = getattr(database, "observer", None)
+    results: list[list[Answer]] = []
+    for block_index, start in enumerate(range(0, len(query_objs), block_size)):
+        session = QuerySession(
+            database,
+            engine=engine,
+            use_avoidance=use_avoidance,
+            max_pivots=max_pivots,
+            seed_from_queries=db_indices is not None,
+            warm_start=warm_start,
+        )
+        block_objs = query_objs[start : start + block_size]
+        block_types = qtypes_list[start : start + block_size]
+        block_indices = (
+            db_indices[start : start + block_size] if db_indices is not None else None
+        )
+        # One ``block.flush`` span per completed block: the moment the
+        # buffered partial answers of Fig. 4 are fully drained.
+        with maybe_phase(
+            observer, "block.flush", block=block_index, size=len(block_objs)
+        ):
+            results.extend(
+                session.run(block_objs, block_types, db_indices=block_indices)
+            )
+    return results

@@ -66,6 +66,26 @@ class TestQueryPlanner:
         with pytest.raises(ValueError):
             planner.plan(n_queries=0, qtype=knn_query(3))
 
+    def test_dataset_smaller_than_probe_sample(self, clustered):
+        """Probing clamps to the dataset: tiny workloads must still fit.
+
+        With fewer objects than ``probe_queries`` the old sampler
+        repeated queries; repeats fold to near-zero inside the block
+        probe while the single-query probe pays each in full, producing
+        degenerate (wildly over-shared) fits.
+        """
+        tiny = clustered[:4]
+        planner = QueryPlanner(tiny, probe_queries=8, seed=1)
+        plan = planner.plan(n_queries=3, qtype=knn_query(2))
+        assert plan.block_size >= 1
+        for fit in plan.fits:
+            assert fit.shared_seconds >= 0.0
+            assert fit.marginal_seconds >= 0.0
+            assert fit.per_query(1) > 0.0
+            # A fit is degenerate when nearly all cost is "shared":
+            # blocking would then look free, which it never is.
+            assert fit.marginal_seconds > 0.0
+
 
 class TestCalibration:
     def test_measure_platform_sane(self):
@@ -116,6 +136,31 @@ class TestMatrixModes:
         assert space.counters.query_matrix_distance_calculations == 1
         slots.pairs(a, [b])  # cached now
         assert space.counters.query_matrix_distance_calculations == 1
+
+    @pytest.mark.parametrize("mode", ["eager", "lazy"])
+    def test_single_admission_charges_nothing(self, mode):
+        """Admitting with zero pending queries must not compute pairs.
+
+        Pins the m=1 cost of both fill policies: a lone query has no
+        partner rows, so neither policy may charge a matrix distance on
+        admission -- eager pays only from the second admission on.
+        """
+        space = MetricSpace("euclidean")
+        slots = _SlotMatrix(space, mode=mode)
+        slots.add(np.array([0.5, 0.5]))
+        assert space.counters.query_matrix_distance_calculations == 0
+        slots.add(np.array([1.5, 0.5]))
+        expected = 1 if mode == "eager" else 0
+        assert space.counters.query_matrix_distance_calculations == expected
+
+    @pytest.mark.parametrize("mode", ["eager", "lazy"])
+    def test_single_query_block_charges_no_matrix_distances(self, clustered, mode):
+        """An m=1 multiple similarity query pays zero matrix overhead."""
+        database = Database(clustered, access="xtree", block_size=4096)
+        with database.measure() as handle:
+            processor = MultiQueryProcessor(database, matrix_mode=mode)
+            processor.query_all([clustered[0]], knn_query(5))
+        assert handle.counters.query_matrix_distance_calculations == 0
 
     def test_lazy_slot_reuse_invalidates_pairs(self):
         space = MetricSpace("euclidean")

@@ -1,0 +1,258 @@
+"""Tests for the dynamic-batching query scheduler (satellite 3).
+
+Pins the scheduling semantics: deterministic logical-tick decisions,
+FIFO fairness (the block driver is always the oldest ticket, a lone
+ticket flushes within the deadline), answer identity with the plain
+block path, and traced==untraced identity across every access method.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database, knn_query
+from repro.core.planner import CostFit
+from repro.obs import Observer
+from repro.service import (
+    ORDER_AFFINITY,
+    ORDER_FIFO,
+    QueryScheduler,
+    knee_block_size,
+    recommend_access,
+)
+
+ACCESS_METHODS = ["scan", "xtree", "rstar", "mtree", "vafile"]
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(31)
+    centers = rng.random((5, 6))
+    return np.clip(
+        centers[rng.integers(0, 5, 600)] + rng.standard_normal((600, 6)) * 0.05,
+        0,
+        1,
+    )
+
+
+def make_db(vectors, access="xtree", **kwargs):
+    return Database(vectors, access=access, block_size=2048, **kwargs)
+
+
+def round_robin_trace(vectors, n_clients=4, per_client=4, k=5):
+    trace = []
+    position = 0
+    for _ in range(per_client):
+        for client in range(n_clients):
+            trace.append((client, vectors[position * 7 % len(vectors)], knn_query(k)))
+            position += 1
+    return trace
+
+
+def as_tuples(answers):
+    return [(a.index, a.distance) for a in answers]
+
+
+class TestKneePoint:
+    def test_knee_is_smallest_block_within_tolerance(self):
+        fit = CostFit(access="xtree", shared_seconds=1.0, marginal_seconds=0.1)
+        # per_query(m) = 1/m + 0.1; asymptote at m=32 is ~0.13125.
+        knee = knee_block_size(fit, max_block=32, tolerance=0.1)
+        asymptote = fit.per_query(32)
+        assert fit.per_query(knee) <= asymptote * 1.1
+        assert knee > 1
+        assert fit.per_query(knee - 1) > asymptote * 1.1
+
+    def test_no_shared_cost_means_no_batching(self):
+        fit = CostFit(access="scan", shared_seconds=0.0, marginal_seconds=0.2)
+        assert knee_block_size(fit, max_block=32) == 1
+
+    def test_knee_rejects_bad_max_block(self):
+        fit = CostFit(access="scan", shared_seconds=1.0, marginal_seconds=0.1)
+        with pytest.raises(ValueError):
+            knee_block_size(fit, max_block=0)
+
+    def test_recommend_access_picks_cheapest_at_block_size(self):
+        fits = [
+            CostFit(access="scan", shared_seconds=0.0, marginal_seconds=0.5),
+            CostFit(access="xtree", shared_seconds=2.0, marginal_seconds=0.05),
+        ]
+        # At m=1 the scan is cheaper; at m=32 the tree amortises.
+        assert recommend_access(fits, 1) == "scan"
+        assert recommend_access(fits, 32) == "xtree"
+        with pytest.raises(ValueError):
+            recommend_access([], 4)
+
+
+class TestFlushTriggers:
+    def test_occupancy_target_flushes(self, vectors):
+        scheduler = make_db(vectors).serve(block_target=3, max_wait=100)
+        t1 = scheduler.submit(vectors[0], knn_query(3), client_id="a")
+        t2 = scheduler.submit(vectors[5], knn_query(3), client_id="b")
+        assert not t1.done and scheduler.queue_depth == 2
+        t3 = scheduler.submit(vectors[9], knn_query(3), client_id="c")
+        assert t1.done and t2.done and t3.done
+        assert scheduler.queue_depth == 0
+        assert t1.batch_size == 3
+
+    def test_deadline_flushes_a_lone_ticket(self, vectors):
+        """No client starves: a single ticket flushes within max_wait."""
+        scheduler = make_db(vectors).serve(block_target=100, max_wait=3)
+        ticket = scheduler.submit(vectors[0], knn_query(3))
+        polls = 0
+        while not ticket.done:
+            scheduler.poll()
+            polls += 1
+            assert polls <= 3, "deadline did not fire within max_wait ticks"
+        assert ticket.batch_size == 1
+        assert ticket.completed_tick - ticket.submitted_tick <= 3
+
+    def test_queue_pressure_flushes_before_admitting(self, vectors):
+        scheduler = make_db(vectors).serve(
+            block_target=100, max_block=4, max_wait=1000, max_queue=4
+        )
+        tickets = [
+            scheduler.submit(vectors[i], knn_query(3)) for i in range(5)
+        ]
+        assert all(t.done for t in tickets[:4])
+        assert not tickets[4].done
+        assert scheduler.queue_depth == 1
+
+    def test_drain_completes_everything(self, vectors):
+        scheduler = make_db(vectors).serve(block_target=100, max_wait=1000)
+        tickets = [
+            scheduler.submit(vectors[i], knn_query(3)) for i in range(5)
+        ]
+        scheduler.drain()
+        assert all(t.done for t in tickets)
+        assert scheduler.queue_depth == 0
+
+    def test_rejects_bad_parameters(self, vectors):
+        db = make_db(vectors)
+        with pytest.raises(ValueError):
+            db.serve(order="random")
+        with pytest.raises(ValueError):
+            db.serve(block_target=0)
+        with pytest.raises(ValueError):
+            db.serve(max_block=0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("order", [ORDER_FIFO, ORDER_AFFINITY])
+    def test_same_trace_same_schedule_and_answers(self, vectors, order):
+        trace = round_robin_trace(vectors)
+
+        def run():
+            db = make_db(vectors)
+            scheduler = db.serve(block_target=4, order=order)
+            tickets = scheduler.serve(trace)
+            return (
+                [as_tuples(t.answers) for t in tickets],
+                [(t.submitted_tick, t.completed_tick, t.batch_size) for t in tickets],
+                db.counters.as_dict(),
+            )
+
+        assert run() == run()
+
+
+class TestAnswerIdentity:
+    @pytest.mark.parametrize("order", [ORDER_FIFO, ORDER_AFFINITY])
+    def test_scheduler_answers_match_direct_queries(self, vectors, order):
+        """Batching and block order never change any client's answers."""
+        trace = round_robin_trace(vectors)
+        db = make_db(vectors)
+        tickets = db.serve(block_target=4, order=order).serve(trace)
+        reference_db = make_db(vectors)
+        for ticket, (_, obj, qtype) in zip(tickets, trace):
+            want = reference_db.similarity_query(obj, qtype)
+            assert as_tuples(ticket.answers) == as_tuples(want)
+
+    @pytest.mark.parametrize("access", ACCESS_METHODS)
+    def test_traced_identical_to_untraced(self, vectors, access):
+        trace = round_robin_trace(vectors, n_clients=3, per_client=3)
+
+        plain_db = make_db(vectors, access)
+        plain = plain_db.serve(block_target=4).serve(trace)
+
+        observer = Observer(trace=True)
+        traced_db = make_db(vectors, access, observer=observer)
+        traced = traced_db.serve(block_target=4).serve(trace)
+
+        assert [as_tuples(t.answers) for t in plain] == [
+            as_tuples(t.answers) for t in traced
+        ]
+        assert plain_db.counters.as_dict() == traced_db.counters.as_dict()
+        names = {r["name"] for r in observer.tracer.records()}
+        assert {"service.submit", "service.flush", "query.drive"} <= names
+
+
+class TestFairness:
+    def test_fifo_driver_is_always_the_oldest(self, vectors):
+        """Under both orders batch[0] stays the oldest waiting ticket."""
+        for order in (ORDER_FIFO, ORDER_AFFINITY):
+            observer = Observer(trace=True)
+            db = make_db(vectors, observer=observer)
+            scheduler = db.serve(block_target=4, order=order)
+            tickets = scheduler.serve(round_robin_trace(vectors))
+            # Tickets complete in submission order (block = FIFO prefix).
+            completed = [t.completed_tick for t in tickets]
+            assert completed == sorted(completed)
+            waits = [t.completed_tick - t.submitted_tick for t in tickets]
+            assert max(waits) <= scheduler.block_target
+
+    def test_affinity_keeps_driver_and_permutes_rest(self, vectors):
+        scheduler = make_db(vectors).serve(
+            block_target=100, max_wait=1000, order=ORDER_AFFINITY
+        )
+        tickets = [
+            scheduler.submit(vectors[i * 50], knn_query(3), client_id=i)
+            for i in range(6)
+        ]
+        batch = scheduler._order_batch(list(tickets))
+        assert batch[0] is tickets[0]
+        assert sorted(t.client_id for t in batch) == list(range(6))
+        scheduler.drain()
+
+
+class TestReplan:
+    def test_replan_installs_knee_target_and_recommendation(self, vectors):
+        observer = Observer(trace=True)
+        db = make_db(vectors, "xtree", observer=observer)
+        scheduler = db.serve(block_target=2, max_block=32)
+        fits = [
+            CostFit(access="xtree", shared_seconds=1.0, marginal_seconds=0.1),
+            CostFit(access="scan", shared_seconds=0.0, marginal_seconds=5.0),
+        ]
+        scheduler.replan(fits)
+        assert scheduler.block_target == knee_block_size(fits[0], 32)
+        assert scheduler.recommended_access == "xtree"
+        names = {r["name"] for r in observer.tracer.records()}
+        assert "service.replan" in names
+
+    def test_replan_without_own_access_uses_cheapest_fit(self, vectors):
+        scheduler = make_db(vectors, "scan").serve(max_block=16)
+        fits = [
+            CostFit(access="xtree", shared_seconds=0.8, marginal_seconds=0.05),
+            CostFit(access="mtree", shared_seconds=2.0, marginal_seconds=0.2),
+        ]
+        scheduler.replan(fits)
+        assert scheduler.recommended_access == "xtree"
+
+    def test_fits_at_construction(self, vectors):
+        fits = [CostFit(access="xtree", shared_seconds=1.0, marginal_seconds=0.1)]
+        scheduler = QueryScheduler(make_db(vectors, "xtree"), fits=fits)
+        assert scheduler.block_target == knee_block_size(fits[0], 32)
+
+
+class TestServiceMetrics:
+    def test_serving_records_queue_and_latency_metrics(self, vectors):
+        observer = Observer(trace=False)
+        db = make_db(vectors, observer=observer)
+        db.serve(block_target=4).serve(round_robin_trace(vectors))
+        snapshot = observer.metrics.snapshot()
+        hists = snapshot["histograms"]
+        assert hists["service.batch_occupancy"]["count"] >= 4
+        assert hists["service.batch_occupancy"]["max"] <= 32
+        assert hists["service.client_latency.seconds"]["count"] == 16
+        assert hists["service.wait.ticks"]["count"] == 16
+        assert hists["service.time_to_first_answer.seconds"]["count"] >= 4
+        assert snapshot["gauges"]["service.queue_depth"] == 0.0
