@@ -1,0 +1,242 @@
+"""Fault-injection overhead and recovery-exactness benchmark.
+
+Measures four scenarios over the same multiple-query k-NN workload:
+
+* ``no_faults`` -- plain database, the reference run;
+* ``empty_plan`` -- fault gate attached but an empty plan: the cost of
+  merely consulting the injector (must be counter-neutral and cheap);
+* ``one_crash`` -- a model-backend parallel run where one server
+  crashes mid-block and the block is re-dispatched to a survivor;
+* ``straggler`` -- injected latency pushes one server past the block
+  deadline; the straggler's block is likewise re-dispatched.
+
+Every fault scenario's answers AND deterministic cost counters are
+asserted byte-identical to its fault-free twin -- recovery may cost
+wall-clock time but never changes results (docs/robustness.md).  The
+committed baseline entries make ``repro bench --check`` fail if
+overhead ever creeps into the faults-disabled path.
+
+Results are written to ``BENCH_faults.json`` at the repository root;
+``repro bench --import-bench BENCH_faults.json`` folds them into the
+baseline store.  Run standalone or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.database import Database
+from repro.core.types import knn_query
+from repro.faults import (
+    KIND_LATENCY,
+    KIND_SERVER_CRASH,
+    FaultPlan,
+    RetryPolicy,
+    SiteSpec,
+)
+from repro.parallel import ParallelDatabase
+from repro.workloads import make_gaussian_mixture, sample_database_queries
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+
+N_OBJECTS = 2_048
+DIMENSION = 8
+N_QUERIES = 12
+K = 10
+BLOCK_SIZE = 2048
+N_SERVERS = 3
+ACCESS = "xtree"
+REPEATS = 3
+
+_COUNTER_FIELDS = (
+    "page_reads",
+    "distance_calculations",
+    "avoidance_tries",
+    "avoided_calculations",
+    "queries_completed",
+)
+
+CRASH_PLAN = FaultPlan(
+    seed=5,
+    sites=(
+        SiteSpec(
+            pattern="server:1",
+            kinds=(KIND_SERVER_CRASH,),
+            at_ops=(3, 7),
+            max_faults=2,
+        ),
+    ),
+    retry=RetryPolicy(max_retries=3),
+)
+
+STRAGGLER_PLAN = FaultPlan(
+    seed=4,
+    sites=(
+        SiteSpec(
+            pattern="server:2",
+            kinds=(KIND_LATENCY,),
+            probability=0.5,
+            latency_ticks=4,
+            max_faults=6,
+        ),
+    ),
+    retry=RetryPolicy(max_retries=4, deadline_ticks=6),
+)
+
+
+def _workload():
+    dataset = make_gaussian_mixture(
+        n=N_OBJECTS, dimension=DIMENSION, n_clusters=12, cluster_std=0.05, seed=0
+    )
+    indices = sample_database_queries(dataset, N_QUERIES, seed=1)
+    queries = [dataset[i] for i in indices]
+    return dataset, queries
+
+
+def _single_run(dataset, queries, fault_plan):
+    database = Database(
+        dataset, access=ACCESS, block_size=BLOCK_SIZE, fault_plan=fault_plan
+    )
+    start = time.perf_counter()
+    answers = database.session().run(queries, knn_query(K))
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "answers": [[(a.index, a.distance) for a in per] for per in answers],
+        "counters": {
+            name: getattr(database.counters, name) for name in _COUNTER_FIELDS
+        },
+        "summary": (
+            database.fault_injector.summary()
+            if database.fault_injector is not None
+            else None
+        ),
+    }
+
+
+def _parallel_run(dataset, queries, fault_plan):
+    database = ParallelDatabase(
+        dataset,
+        n_servers=N_SERVERS,
+        access=ACCESS,
+        block_size=BLOCK_SIZE,
+        fault_plan=fault_plan,
+    )
+    start = time.perf_counter()
+    run = database.multiple_similarity_query(queries, knn_query(K))
+    seconds = time.perf_counter() - start
+    counters: dict[str, int] = {name: 0 for name in _COUNTER_FIELDS}
+    per_server = []
+    for server_run in run.per_server:
+        fields = {
+            name: getattr(server_run.counters, name) for name in _COUNTER_FIELDS
+        }
+        per_server.append(fields)
+        for name in _COUNTER_FIELDS:
+            counters[name] += fields[name]
+    return {
+        "seconds": seconds,
+        "answers": [[(a.index, a.distance) for a in per] for per in run.answers],
+        "counters": counters,
+        "per_server": per_server,
+        "summary": (
+            database.fault_injector.summary()
+            if database.fault_injector is not None
+            else None
+        ),
+    }
+
+
+def _best_of(fn, *args):
+    best = None
+    for _ in range(REPEATS):
+        run = fn(*args)
+        if best is None or run["seconds"] < best["seconds"]:
+            best = run
+    assert best is not None
+    return best
+
+
+def _row(scenario, run, reference=None):
+    if reference is not None:
+        assert run["answers"] == reference["answers"], scenario
+        assert run["counters"] == reference["counters"], scenario
+        if "per_server" in run and "per_server" in reference:
+            assert run["per_server"] == reference["per_server"], scenario
+    summary = run.get("summary") or {}
+    return {
+        "scenario": scenario,
+        "seconds": run["seconds"],
+        "counters": run["counters"],
+        "injected": summary.get("injected_total", 0),
+        "retries": summary.get("retries", 0),
+        "redispatches": summary.get("redispatches", 0),
+        "exact": reference is not None,
+    }
+
+
+def run_bench() -> dict:
+    dataset, queries = _workload()
+
+    clean_single = _best_of(_single_run, dataset, queries, None)
+    empty_plan = _best_of(
+        _single_run, dataset, queries, FaultPlan(seed=0, sites=())
+    )
+    clean_parallel = _best_of(_parallel_run, dataset, queries, None)
+    one_crash = _best_of(_parallel_run, dataset, queries, CRASH_PLAN)
+    straggler = _best_of(_parallel_run, dataset, queries, STRAGGLER_PLAN)
+
+    assert one_crash["summary"]["redispatches"] >= 1
+    assert straggler["summary"]["redispatches"] >= 1
+    assert empty_plan["summary"]["injected_total"] == 0
+
+    rows = [
+        _row("no_faults", clean_single),
+        _row("empty_plan", empty_plan, reference=clean_single),
+        _row("one_crash", one_crash, reference=clean_parallel),
+        _row("straggler", straggler, reference=clean_parallel),
+    ]
+    result = {
+        "benchmark": "faults",
+        "n_objects": N_OBJECTS,
+        "n_queries": N_QUERIES,
+        "access": ACCESS,
+        "n_servers": N_SERVERS,
+        "repeats": REPEATS,
+        "rows": rows,
+    }
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def _render(result: dict) -> str:
+    lines = [
+        f"{'scenario':<12} {'seconds':>9} {'page reads':>11} "
+        f"{'dist calcs':>11} {'injected':>9} {'redisp':>7} {'exact':>6}"
+    ]
+    for row in result["rows"]:
+        c = row["counters"]
+        lines.append(
+            f"{row['scenario']:<12} {row['seconds']:>9.4f} "
+            f"{c['page_reads']:>11,} {c['distance_calculations']:>11,} "
+            f"{row['injected']:>9} {row['redispatches']:>7} "
+            f"{'yes' if row['exact'] else '-':>6}"
+        )
+    return "\n".join(lines)
+
+
+def test_fault_overhead():
+    result = run_bench()
+    print()
+    print(_render(result))
+    for row in result["rows"]:
+        if row["scenario"] != "no_faults":
+            assert row["exact"], row
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))
+    sys.exit(0)

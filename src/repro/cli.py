@@ -102,6 +102,31 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drive_trace(scheduler, dataset, indices, args: argparse.Namespace) -> list:
+    """Submit the deterministic round-robin client trace and drain.
+
+    Each simulated client submits its queries in turn, with idle polls
+    interleaved so the deadline rule exercises partially filled blocks.
+    """
+    from repro import knn_query
+
+    tickets = []
+    position = 0
+    for _round in range(args.queries_per_client):
+        for client in range(args.clients):
+            tickets.append(
+                scheduler.submit(
+                    dataset[indices[position]],
+                    knn_query(args.k),
+                    client_id=client,
+                )
+            )
+            position += 1
+        scheduler.poll()
+    scheduler.drain()
+    return tickets
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Drive N simulated clients through the dynamic-batching scheduler."""
     from repro import Database, knn_query
@@ -116,6 +141,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dataset, access=args.access, engine=args.engine, observer=observer
     )
     print("database:", database.summary())
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.faults)
+        database.inject_faults(fault_plan)
+        print(
+            f"fault plan: {args.faults} (seed {fault_plan.seed}, "
+            f"{len(fault_plan.sites)} site spec(s), "
+            f"retry budget {fault_plan.retry.max_retries})"
+        )
     scheduler = database.serve(
         block_target=args.block_target,
         max_block=args.max_block,
@@ -138,26 +173,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f" (recommended access: {scheduler.recommended_access})"
         )
 
-    # A deterministic round-robin request trace: each simulated client
-    # submits its queries in turn, with idle polls interleaved so the
-    # deadline rule exercises partially filled blocks.
     indices = sample_database_queries(
         dataset, args.clients * args.queries_per_client, seed=1
     )
-    tickets = []
-    position = 0
-    for round_index in range(args.queries_per_client):
-        for client in range(args.clients):
-            tickets.append(
-                scheduler.submit(
-                    dataset[indices[position]],
-                    knn_query(args.k),
-                    client_id=client,
-                )
-            )
-            position += 1
-        scheduler.poll()
-    scheduler.drain()
+    tickets = _drive_trace(scheduler, dataset, indices, args)
     assert all(ticket.done for ticket in tickets)
 
     snapshot = observer.metrics.snapshot()
@@ -195,7 +214,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for ticket in tickets:
         per_client[ticket.client_id] = per_client.get(ticket.client_id, 0) + 1
     print(f"  per-client completions: {sorted(per_client.values())}")
+    exit_code = 0
+    if args.faults:
+        exit_code = _report_serve_faults(
+            args, database, scheduler, dataset, indices, tickets
+        )
     _flush_observer(observer, args)
+    return exit_code
+
+
+def _report_serve_faults(
+    args: argparse.Namespace, database, scheduler, dataset, indices, tickets
+) -> int:
+    """Print the fault summary and verify recovered answers are exact.
+
+    Every ticket the scheduler did NOT mark degraded must carry an
+    answer byte-identical to the same trace served by a fault-free
+    database: recovery (retries, survivor re-dispatch) may cost time
+    but never changes results.  Returns 1 on any divergence so chaos
+    CI fails loudly.
+    """
+    from repro import Database
+
+    injector = database.fault_injector
+    summary = injector.summary()
+    degraded = [ticket for ticket in tickets if ticket.degraded]
+    print("fault injection summary:")
+    print(f"  injected: {summary['injected_total']} {summary['injected']}")
+    print(
+        f"  retries: {summary['retries']}"
+        f"  redispatches: {summary['redispatches']}"
+        f"  ticks: {summary['ticks']}"
+    )
+    print(
+        f"  degraded sessions: {scheduler.degraded_sessions}"
+        f"  degraded tickets: {len(degraded)}"
+    )
+    clean_database = Database(dataset, access=args.access, engine=args.engine)
+    clean_scheduler = clean_database.serve(
+        block_target=scheduler.block_target,
+        max_block=args.max_block,
+        max_wait=args.max_wait,
+        order=args.order,
+    )
+    clean_tickets = _drive_trace(clean_scheduler, dataset, indices, args)
+    mismatches = 0
+    for ticket, clean in zip(tickets, clean_tickets):
+        if ticket.degraded:
+            continue
+        if ticket.answers != clean.answers:
+            mismatches += 1
+    recovered = len(tickets) - len(degraded)
+    if mismatches:
+        print(
+            f"FAIL: {mismatches}/{recovered} recovered tickets diverge "
+            f"from the fault-free run"
+        )
+        return 1
+    print(
+        f"recovered answers exact: {recovered}/{len(tickets)} tickets "
+        f"byte-identical to the fault-free run"
+    )
     return 0
 
 
@@ -380,6 +459,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="probe a planner cost fit first and adopt its knee-point "
         "block target",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject faults from a JSON plan (see docs/robustness.md); "
+        "recovered answers are verified against a fault-free run and "
+        "a non-zero exit reports any divergence",
     )
     serve.add_argument("--trace", default=None, metavar="FILE")
     serve.add_argument("--metrics-out", default=None, metavar="FILE")

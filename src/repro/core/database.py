@@ -135,6 +135,10 @@ class Database:
         Optional :class:`~repro.obs.Observer` to attach (see
         :meth:`attach_observer`).  Without one, queries run the exact
         uninstrumented code paths.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` (or its dict form);
+        when given, :meth:`inject_faults` is called with it.  Without
+        one, the read path stays entirely fault-free.
     """
 
     def __init__(
@@ -147,6 +151,7 @@ class Database:
         engine: str = "auto",
         index_options: dict[str, Any] | None = None,
         observer: Any = None,
+        fault_plan: Any = None,
     ):
         self.dataset = as_dataset(data)
         self.counters = Counters()
@@ -181,6 +186,9 @@ class Database:
         self.observer: Any = None
         if observer is not None:
             self.attach_observer(observer)
+        self.fault_injector: Any = None
+        if fault_plan is not None:
+            self.inject_faults(fault_plan)
 
     def attach_observer(self, observer: Any) -> Any:
         """Attach an :class:`~repro.obs.Observer` to this database.
@@ -199,6 +207,23 @@ class Database:
         attach_counters(observer.metrics, self.counters)
         observer.metrics.register_collector(self._buffer_stats)
         return observer
+
+    def inject_faults(
+        self, plan: Any, site: str = "server:0", policy: Any = None
+    ) -> Any:
+        """Arm the fault plan against this database's disk.
+
+        Creates a :class:`~repro.faults.FaultInjector` over ``plan``
+        (reporting through the attached observer, if any) and installs
+        its read gate for ``site`` on the simulated disk.  Returns the
+        injector so callers can inspect :meth:`~repro.faults.FaultInjector.summary`.
+        """
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(plan, policy=policy, observer=self.observer)
+        self.fault_injector = injector
+        self.disk.faults = injector.gate(site)
+        return injector
 
     def _buffer_stats(self) -> dict[str, float]:
         """Snapshot-time buffer-pool statistics (Sec. 5.1 I/O sharing)."""

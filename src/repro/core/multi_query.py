@@ -284,6 +284,11 @@ class MultiQueryProcessor:
         """Currently buffered queries (complete and incomplete)."""
         return list(self._pending.values())
 
+    @property
+    def n_data_pages(self) -> int:
+        """Total data pages of the access method (completeness bounds)."""
+        return self._n_data_pages
+
     def admit(
         self,
         obj: Any,

@@ -78,6 +78,16 @@ class Counters:
         for f in fields(self):
             setattr(self, f.name, 0)
 
+    def restore(self, snapshot: "Counters") -> None:
+        """Set every counter to ``snapshot``'s value in place.
+
+        Used by crash recovery to roll a shared instance back before a
+        deterministic replay, without breaking the references the disk
+        and metric space hold on it.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(snapshot, f.name))
+
     @property
     def page_reads(self) -> int:
         """Total physical page reads (sequential + random)."""

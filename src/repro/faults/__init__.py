@@ -1,0 +1,44 @@
+"""Deterministic fault injection and recovery for the query stack.
+
+See :mod:`repro.faults.plan` for the seedable fault plans,
+:mod:`repro.faults.injector` for the runtime, and
+``docs/robustness.md`` for the fault model and recovery semantics.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    PageReadError,
+    ServerCrash,
+    ServerTimeout,
+)
+from repro.faults.injector import DiskFaultGate, FaultContext, FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    KIND_LATENCY,
+    KIND_PAGE_READ_ERROR,
+    KIND_SERVER_CRASH,
+    KIND_SERVER_TIMEOUT,
+    FaultDecision,
+    FaultPlan,
+    SiteSpec,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "KIND_LATENCY",
+    "KIND_PAGE_READ_ERROR",
+    "KIND_SERVER_CRASH",
+    "KIND_SERVER_TIMEOUT",
+    "DiskFaultGate",
+    "FaultContext",
+    "FaultDecision",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "PageReadError",
+    "RetryPolicy",
+    "ServerCrash",
+    "ServerTimeout",
+    "SiteSpec",
+]

@@ -1,0 +1,72 @@
+"""Typed failures raised by the fault-injection layer.
+
+The hierarchy mirrors the recovery granularity: a
+:class:`PageReadError` is retryable in place at the disk (bounded
+retries with backoff on the logical tick clock), while a
+:class:`ServerCrash` or :class:`ServerTimeout` aborts the server's
+whole in-flight block and is handled by re-dispatching the block to a
+survivor (:mod:`repro.parallel.executor`) or by degrading the session
+(:mod:`repro.service.session`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected (or surfaced) fault."""
+
+    #: Site the fault was injected at (e.g. ``"server:2"``).
+    site: str
+
+    def __init__(self, message: str, site: str = ""):
+        super().__init__(message)
+        self.site = site
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        # Custom __init__ signatures break default exception pickling;
+        # the process backend ships these across worker boundaries.
+        return (type(self), (self.args[0], self.site))
+
+
+class PageReadError(FaultError):
+    """A page read failed after exhausting its retry budget."""
+
+    def __init__(self, page_id: int, site: str, attempts: int):
+        super().__init__(
+            f"page {page_id} unreadable at {site!r} after "
+            f"{attempts} attempt(s)",
+            site,
+        )
+        self.page_id = page_id
+        self.attempts = attempts
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (type(self), (self.page_id, self.site, self.attempts))
+
+
+class ServerCrash(FaultError):
+    """A server died mid-block; its in-flight work is lost."""
+
+    def __init__(self, site: str):
+        super().__init__(f"server at {site!r} crashed", site)
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (type(self), (self.site,))
+
+
+class ServerTimeout(FaultError):
+    """A server exceeded the per-block deadline (straggler)."""
+
+    def __init__(self, site: str, ticks: int, deadline: int):
+        super().__init__(
+            f"server at {site!r} exceeded the block deadline "
+            f"({ticks} > {deadline} ticks)",
+            site,
+        )
+        self.ticks = ticks
+        self.deadline = deadline
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (type(self), (self.site, self.ticks, self.deadline))

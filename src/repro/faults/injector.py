@@ -1,0 +1,312 @@
+"""Fault injection runtime: contexts, the disk gate, and accounting.
+
+A :class:`FaultInjector` owns one :class:`~repro.faults.plan.FaultPlan`
+plus the logical tick clock and the fault/retry/re-dispatch accounting.
+Components consult it through two thin handles:
+
+* :class:`FaultContext` -- per-site draw state (operation counter, one
+  RNG and fault budget per matching spec);
+* :class:`DiskFaultGate` -- what a
+  :class:`~repro.storage.disk.SimulatedDisk` holds: consulted once per
+  page read *before* any cost counter is charged, it injects latency,
+  retries recoverable read errors in place (backoff on the tick
+  clock), and raises :class:`~repro.faults.errors.ServerCrash` /
+  :class:`~repro.faults.errors.ServerTimeout` for the block-level
+  recovery paths to handle.
+
+Because every injection happens strictly before the read is charged,
+and a retried read is charged exactly once on success, recovered runs
+keep the paper's deterministic cost counters byte-identical to the
+fault-free run -- the invariant the chaos CI matrix asserts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.faults.errors import PageReadError, ServerCrash, ServerTimeout
+from repro.faults.plan import (
+    KIND_LATENCY,
+    KIND_SERVER_CRASH,
+    KIND_SERVER_TIMEOUT,
+    FaultDecision,
+    FaultPlan,
+    SiteSpec,
+)
+from repro.faults.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+
+class FaultContext:
+    """Draw state of one site: op counter plus per-spec RNG and budget."""
+
+    __slots__ = ("site", "op", "_specs")
+
+    def __init__(self, plan: FaultPlan, site: str):
+        self.site = site
+        self.op = 0
+        #: ``[spec, rng, remaining_budget]`` per matching spec.
+        self._specs: list[list[Any]] = [
+            [spec, plan.rng_for(spec, site), spec.max_faults]
+            for spec in plan.specs_for(site)
+        ]
+
+    def draw(self) -> FaultDecision | None:
+        """Decide the fault (if any) of the next operation at this site.
+
+        Each probability spec consumes exactly one uniform variate per
+        operation whether or not it fires, so a site's fault schedule
+        depends only on its own operation sequence.  The first firing
+        spec (sorted pattern order) wins.
+        """
+        op = self.op
+        self.op += 1
+        fired: FaultDecision | None = None
+        for entry in self._specs:
+            spec: SiteSpec = entry[0]
+            rng: random.Random = entry[1]
+            budget = entry[2]
+            if spec.at_ops is not None:
+                fires = op in spec.at_ops
+            elif spec.probability > 0.0:
+                fires = rng.random() < spec.probability
+            else:
+                fires = False
+            if not fires or (budget is not None and budget <= 0) or fired:
+                continue
+            if budget is not None:
+                entry[2] = budget - 1
+            kind = spec.kinds[0]
+            if len(spec.kinds) > 1:
+                kind = spec.kinds[rng.randrange(len(spec.kinds))]
+            fired = FaultDecision(
+                kind=kind, site=self.site, latency_ticks=spec.latency_ticks
+            )
+        return fired
+
+
+class DiskFaultGate:
+    """Read-path hook a :class:`~repro.storage.disk.SimulatedDisk` holds.
+
+    ``before_read`` runs the whole page-level fault protocol: latency
+    injections advance the tick clock (and may trip the straggler
+    deadline), recoverable read errors are retried in place with
+    backoff, and server-level faults propagate to the block-recovery
+    layers.  It never touches the paper's cost counters.
+    """
+
+    __slots__ = ("injector", "context")
+
+    def __init__(self, injector: "FaultInjector", site: str):
+        self.injector = injector
+        self.context = injector.context(site)
+
+    def before_read(self, page_id: int) -> None:
+        """Consult the plan for one page read; raise or return.
+
+        Raises
+        ------
+        PageReadError
+            When a read error persists past the retry budget.
+        ServerCrash
+            When a crash fault fires (handled by block recovery).
+        ServerTimeout
+            When a timeout fault fires, or accumulated latency pushes
+            the block past the policy deadline.
+        """
+        injector = self.injector
+        policy = injector.policy
+        site = self.context.site
+        attempt = 0
+        while True:
+            decision = self.context.draw()
+            if decision is None:
+                return
+            kind = decision.kind
+            injector.record_injected(kind, site, page_id=page_id)
+            if kind == KIND_LATENCY:
+                injector.advance(decision.latency_ticks)
+                deadline = policy.deadline_ticks
+                if deadline is not None and injector.block_ticks > deadline:
+                    raise ServerTimeout(site, injector.block_ticks, deadline)
+                return
+            if kind == KIND_SERVER_CRASH:
+                raise ServerCrash(site)
+            if kind == KIND_SERVER_TIMEOUT:
+                raise ServerTimeout(site, injector.block_ticks, -1)
+            # Recoverable page-read error: retry in place with backoff.
+            attempt += 1
+            if not policy.allows(attempt):
+                raise PageReadError(page_id, site, attempts=attempt)
+            injector.record_retry(site, attempt)
+            injector.advance(policy.backoff(attempt))
+
+
+class FaultInjector:
+    """One plan, one tick clock, one set of fault statistics.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`~repro.faults.plan.FaultPlan` (or its dict form).
+    policy:
+        Overrides the plan's embedded retry policy when given.
+    observer:
+        Optional :class:`~repro.obs.Observer`; injections, retries and
+        re-dispatches are mirrored as ``fault.injected`` /
+        ``retry.attempt`` / ``server.redispatch`` counters and trace
+        events.  Without one, only the internal stats are kept.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | Mapping[str, Any],
+        policy: RetryPolicy | None = None,
+        observer: Any = None,
+    ):
+        if not isinstance(plan, FaultPlan):
+            plan = FaultPlan.from_dict(plan)
+        self.plan = plan
+        self.policy = policy if policy is not None else plan.retry
+        self.observer = observer
+        #: Logical tick clock: advanced by injected latency and backoff.
+        self.tick = 0
+        #: Ticks accumulated since :meth:`begin_block` (deadline scope).
+        self.block_ticks = 0
+        self._contexts: dict[str, FaultContext] = {}
+        self._injected: dict[str, int] = {}
+        self._retries = 0
+        self._redispatches = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def context(self, site: str) -> FaultContext:
+        """The (cached) draw context of one site."""
+        found = self._contexts.get(site)
+        if found is None:
+            found = FaultContext(self.plan, site)
+            self._contexts[site] = found
+        return found
+
+    def gate(self, site: str) -> DiskFaultGate:
+        """A disk read gate bound to ``site``."""
+        return DiskFaultGate(self, site)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    def begin_block(self) -> None:
+        """Start a new block: reset the per-block deadline scope."""
+        self.block_ticks = 0
+
+    def advance(self, ticks: int) -> None:
+        """Advance the logical clock (latency injection or backoff)."""
+        self.tick += ticks
+        self.block_ticks += ticks
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def record_injected(self, kind: str, site: str, **attrs: Any) -> None:
+        """Count one injected fault (and mirror it to the observer)."""
+        self._injected[kind] = self._injected.get(kind, 0) + 1
+        observer = self.observer
+        if observer is not None:
+            observer.metrics.inc("fault.injected")
+            observer.metrics.inc(f"fault.injected.{kind}")
+            observer.event("fault.injected", kind=kind, site=site, **attrs)
+
+    def record_retry(self, site: str, attempt: int) -> None:
+        """Count one page-read retry attempt."""
+        self._retries += 1
+        observer = self.observer
+        if observer is not None:
+            observer.metrics.inc("retry.attempt")
+            observer.event(
+                "retry.attempt",
+                site=site,
+                attempt=attempt,
+                backoff_ticks=self.policy.backoff(attempt),
+            )
+
+    def record_redispatch(
+        self, from_server: int, to_server: int, reason: str
+    ) -> None:
+        """Count one crashed/straggling block re-dispatched to a survivor."""
+        self._redispatches += 1
+        observer = self.observer
+        if observer is not None:
+            observer.metrics.inc("server.redispatch")
+            observer.event(
+                "server.redispatch",
+                from_server=from_server,
+                to_server=to_server,
+                reason=reason,
+            )
+
+    # ------------------------------------------------------------------
+    # Stats (merging across worker processes, reporting)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Flat cumulative statistics (mergeable across processes)."""
+        flat = {f"injected.{kind}": n for kind, n in self._injected.items()}
+        flat["retries"] = self._retries
+        flat["redispatches"] = self._redispatches
+        flat["ticks"] = self.tick
+        return flat
+
+    @staticmethod
+    def stats_delta(
+        current: Mapping[str, int], previous: Mapping[str, int]
+    ) -> dict[str, int]:
+        """Per-block difference of two :meth:`stats` snapshots."""
+        return {
+            key: current[key] - previous.get(key, 0)
+            for key in current
+            if current[key] != previous.get(key, 0)
+        }
+
+    def absorb(self, delta: Mapping[str, int]) -> None:
+        """Fold a worker process's stats delta into this injector.
+
+        Worker-side injectors run without an observer; the parent
+        mirrors the absorbed counts to its own metrics so process- and
+        model-backend runs report through the same names.
+        """
+        observer = self.observer
+        for key, value in delta.items():
+            if value <= 0:
+                continue
+            if key.startswith("injected."):
+                kind = key[len("injected."):]
+                self._injected[kind] = self._injected.get(kind, 0) + value
+                if observer is not None:
+                    observer.metrics.inc("fault.injected", value)
+                    observer.metrics.inc(f"fault.injected.{kind}", value)
+            elif key == "retries":
+                self._retries += value
+                if observer is not None:
+                    observer.metrics.inc("retry.attempt", value)
+            elif key == "redispatches":
+                self._redispatches += value
+                if observer is not None:
+                    observer.metrics.inc("server.redispatch", value)
+            elif key == "ticks":
+                self.tick += value
+
+    def summary(self) -> dict[str, Any]:
+        """Human-oriented totals for CLI output and reports."""
+        return {
+            "injected": dict(sorted(self._injected.items())),
+            "injected_total": sum(self._injected.values()),
+            "retries": self._retries,
+            "redispatches": self._redispatches,
+            "ticks": self.tick,
+        }

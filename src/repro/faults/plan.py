@@ -1,0 +1,214 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` describes *what goes wrong where*: per-site
+specifications of fault kind, probability (or explicit operation
+indices), injected latency and fault budget, plus the
+:class:`~repro.faults.retry.RetryPolicy` recovery is allowed to spend.
+
+Determinism is the load-bearing property.  Every ``(spec, site)`` pair
+gets its own :class:`random.Random` seeded from
+``(plan seed, spec pattern, site name)`` -- string seeding hashes via
+SHA-512, so draws are stable across processes and platforms, and each
+site's fault sequence is independent of how other sites interleave.
+The same plan over the same workload therefore injects the same faults
+on the model backend, the process backend, and on every re-run, which
+is what lets tests assert byte-identical recovery.
+
+Plans serialise to JSON (see ``ci/chaos-*.json`` for committed
+examples)::
+
+    {
+      "seed": 11,
+      "retry": {"max_retries": 4, "backoff_ticks": 1},
+      "sites": {
+        "server:*": {
+          "kinds": ["page_read_error", "latency"],
+          "probability": 0.05,
+          "latency_ticks": 2,
+          "max_faults": null
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Mapping
+
+from repro.faults.retry import RetryPolicy
+
+KIND_PAGE_READ_ERROR = "page_read_error"
+KIND_LATENCY = "latency"
+KIND_SERVER_CRASH = "server_crash"
+KIND_SERVER_TIMEOUT = "server_timeout"
+
+#: Every fault kind a plan may schedule.
+FAULT_KINDS = (
+    KIND_PAGE_READ_ERROR,
+    KIND_LATENCY,
+    KIND_SERVER_CRASH,
+    KIND_SERVER_TIMEOUT,
+)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One fired fault: what to inject at the current operation."""
+
+    kind: str
+    site: str
+    latency_ticks: int = 0
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Fault schedule for the sites matching one pattern.
+
+    Parameters
+    ----------
+    pattern:
+        ``fnmatch`` pattern over site names (``"server:1"``,
+        ``"server:*"``, ``"*"``).  A disk consults the specs whose
+        pattern matches its own site name, in sorted pattern order.
+    probability:
+        Per-operation firing probability (one page read = one
+        operation).  Ignored when ``at_ops`` is given.
+    kinds:
+        Fault kinds this spec may inject; when several are listed, one
+        is drawn uniformly (from the spec's own RNG) per firing.
+    latency_ticks:
+        Logical ticks a ``latency`` injection stalls the server for.
+    max_faults:
+        Total fault budget of this spec per site (``None`` = unbounded).
+    at_ops:
+        Explicit 0-based operation indices to fire at -- the
+        deterministic schedule used by tests and the recovery bench.
+    """
+
+    pattern: str
+    probability: float = 0.0
+    kinds: tuple[str, ...] = (KIND_PAGE_READ_ERROR,)
+    latency_ticks: int = 1
+    max_faults: int | None = None
+    at_ops: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("site pattern cannot be empty")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if not self.kinds:
+            raise ValueError("need at least one fault kind")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+                )
+        if self.latency_ticks < 0:
+            raise ValueError("latency_ticks cannot be negative")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults cannot be negative")
+
+    def matches(self, site: str) -> bool:
+        """Whether this spec applies to ``site``."""
+        return fnmatchcase(site, self.pattern)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (without the pattern key)."""
+        payload: dict[str, Any] = {
+            "probability": self.probability,
+            "kinds": list(self.kinds),
+            "latency_ticks": self.latency_ticks,
+            "max_faults": self.max_faults,
+        }
+        if self.at_ops is not None:
+            payload["at_ops"] = list(self.at_ops)
+        return payload
+
+    @classmethod
+    def from_dict(cls, pattern: str, payload: Mapping[str, Any]) -> "SiteSpec":
+        """Build a spec from one ``sites`` entry of a plan file."""
+        known = {"probability", "kinds", "latency_ticks", "max_faults", "at_ops"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown site-spec fields for {pattern!r}: {sorted(unknown)}"
+            )
+        kinds = payload.get("kinds", [KIND_PAGE_READ_ERROR])
+        if isinstance(kinds, str):
+            kinds = [kinds]
+        at_ops = payload.get("at_ops")
+        return cls(
+            pattern=pattern,
+            probability=float(payload.get("probability", 0.0)),
+            kinds=tuple(kinds),
+            latency_ticks=int(payload.get("latency_ticks", 1)),
+            max_faults=(
+                int(payload["max_faults"])
+                if payload.get("max_faults") is not None
+                else None
+            ),
+            at_ops=tuple(int(op) for op in at_ops) if at_ops is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable description of every fault a run may inject."""
+
+    seed: int = 0
+    sites: tuple[SiteSpec, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def specs_for(self, site: str) -> list[SiteSpec]:
+        """Specs applying to one site, in deterministic pattern order."""
+        return sorted(
+            (spec for spec in self.sites if spec.matches(site)),
+            key=lambda spec: spec.pattern,
+        )
+
+    def rng_for(self, spec: SiteSpec, site: str) -> random.Random:
+        """The private RNG of one ``(spec, site)`` pair.
+
+        String seeding is hashed with SHA-512 by :mod:`random`, so the
+        stream is stable across processes (``PYTHONHASHSEED``-free).
+        """
+        return random.Random(f"{self.seed}/{spec.pattern}/{site}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "seed": self.seed,
+            "retry": self.retry.to_dict(),
+            "sites": {spec.pattern: spec.to_dict() for spec in self.sites},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from parsed JSON."""
+        known = {"seed", "retry", "sites"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
+        retry = RetryPolicy.from_dict(payload.get("retry", {}))
+        sites = tuple(
+            SiteSpec.from_dict(pattern, spec)
+            for pattern, spec in sorted(payload.get("sites", {}).items())
+        )
+        return cls(seed=int(payload.get("seed", 0)), sites=sites, retry=retry)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file (``repro serve --faults``)."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save(self, path: str) -> None:
+        """Write the plan as JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,78 @@
+"""Retry policy: bounded attempts, backoff on the logical tick clock.
+
+Faults are recovered on the same deterministic logical clock the
+:class:`~repro.service.scheduler.QueryScheduler` batches on: a retry
+does not sleep, it *advances ticks*, so recovery schedules are a pure
+function of the fault plan and the request sequence -- reproducible in
+tests and across the two parallel backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule shared by page reads and re-dispatch.
+
+    Parameters
+    ----------
+    max_retries:
+        Recovery attempts allowed per fault episode (a page-read retry
+        loop, or the re-dispatch loop of one server block).  0 disables
+        recovery entirely: the first fault surfaces to the caller.
+    backoff_ticks:
+        Logical ticks charged before the first retry.
+    backoff_factor:
+        Multiplier applied per further attempt (exponential backoff).
+    deadline_ticks:
+        Per-block straggler bound: once a block has accumulated more
+        injected-latency/backoff ticks than this, the next latency
+        injection raises :class:`~repro.faults.errors.ServerTimeout`
+        instead of stalling further.  ``None`` disables the deadline.
+    """
+
+    max_retries: int = 3
+    backoff_ticks: int = 1
+    backoff_factor: float = 2.0
+    deadline_ticks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_ticks < 0:
+            raise ValueError("backoff_ticks cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.deadline_ticks is not None and self.deadline_ticks < 0:
+            raise ValueError("deadline_ticks cannot be negative")
+
+    def allows(self, attempt: int) -> bool:
+        """Whether recovery attempt number ``attempt`` (1-based) may run."""
+        return attempt <= self.max_retries
+
+    def backoff(self, attempt: int) -> int:
+        """Ticks to wait before recovery attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are numbered from 1")
+        return int(self.backoff_ticks * self.backoff_factor ** (attempt - 1))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "max_retries": self.max_retries,
+            "backoff_ticks": self.backoff_ticks,
+            "backoff_factor": self.backoff_factor,
+            "deadline_ticks": self.deadline_ticks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RetryPolicy":
+        """Build a policy from a plan-file ``retry`` section."""
+        known = {"max_retries", "backoff_ticks", "backoff_factor", "deadline_ticks"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown retry-policy fields: {sorted(unknown)}")
+        return cls(**dict(payload))

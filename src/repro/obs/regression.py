@@ -152,6 +152,32 @@ def entries_from_service(result: Mapping[str, Any]) -> dict[str, dict]:
     return entries
 
 
+def entries_from_faults(result: Mapping[str, Any]) -> dict[str, dict]:
+    """Convert a ``BENCH_faults.json`` payload into store entries.
+
+    One entry per fault scenario (``no_faults``, ``empty_plan``,
+    ``one_crash``, ``straggler``...).  Counters are recorded for every
+    scenario; because recovery is counter-neutral they must all equal
+    the ``no_faults`` row's, so any drift -- including overhead creeping
+    into the faults-disabled path -- fails ``repro bench --check``
+    exactly.
+    """
+    entries: dict[str, dict] = {}
+    for row in result.get("rows", []):
+        entries[f"faults/{row['scenario']}"] = make_entry(
+            row["seconds"],
+            counters=row.get("counters"),
+            meta={
+                "n_objects": result.get("n_objects"),
+                "n_queries": result.get("n_queries"),
+                "access": result.get("access"),
+                "injected": row.get("injected"),
+                "redispatches": row.get("redispatches"),
+            },
+        )
+    return entries
+
+
 def entries_from_bench_file(path: str) -> dict[str, dict]:
     """Convert a committed ``BENCH_*.json`` file, dispatching on its kind."""
     with open(path) as handle:
@@ -163,6 +189,8 @@ def entries_from_bench_file(path: str) -> dict[str, dict]:
         return entries_from_obs_overhead(result)
     if kind == "service":
         return entries_from_service(result)
+    if kind == "faults":
+        return entries_from_faults(result)
     raise ValueError(f"unknown benchmark kind {kind!r} in {path!r}")
 
 

@@ -83,6 +83,24 @@ def summarize_metrics(snapshot: dict[str, Any]) -> str:
                 f"{fmt(h['p99']):>12}{fmt(h['max']):>12}"
             )
 
+    # Fault/recovery accounting (see docs/robustness.md): injections by
+    # kind, retry attempts, survivor re-dispatches, degraded sessions.
+    failures = {
+        name: value
+        for name, value in counters.items()
+        if name == "retry.attempt"
+        or name == "server.redispatch"
+        or name.startswith("fault.")
+    }
+    degraded = gauges.get("service.degraded_sessions")
+    if failures or degraded is not None:
+        lines.append("")
+        lines.extend(_section("failures"))
+        for name, value in sorted(failures.items()):
+            lines.append(f"  {name:<36}{value:>10,}")
+        if degraded is not None:
+            lines.append(f"  {'service.degraded_sessions':<36}{degraded:>10.0f}")
+
     events = {
         name[len("events."):]: value
         for name, value in counters.items()
@@ -110,7 +128,7 @@ def summarize_trace(records: Iterable[dict[str, Any]], top: int = 5) -> str:
     """Render a parsed JSONL trace: entry counts and slowest spans."""
     records = list(records)
     by_name: dict[str, int] = {}
-    spans = []
+    spans: list[dict[str, Any]] = []
     for record in records:
         by_name[record["name"]] = by_name.get(record["name"], 0) + 1
         if record.get("kind") == "span":
@@ -137,7 +155,7 @@ def render_report(
     trace_records: Iterable[dict[str, Any]] | None = None,
 ) -> str:
     """Combine metrics and trace summaries into one report."""
-    parts = []
+    parts: list[str] = []
     if metrics is not None:
         parts.append(summarize_metrics(metrics))
     if trace_records is not None:

@@ -39,6 +39,23 @@ Two execution backends share this logic:
   each server reports its *measured* wall-clock seconds, so the modelled
   super-linear speed-up of Sec. 5.3 can be compared against real elapsed
   time on multi-core hardware.
+
+Fault tolerance (``fault_plan``): a seeded
+:class:`~repro.faults.FaultPlan` arms each server's disk with a fault
+gate (site ``"server:<id>"``).  Page-read errors are retried in place by
+the gate itself; a :class:`~repro.faults.ServerCrash` or straggler
+:class:`~repro.faults.ServerTimeout` aborts the server's in-flight block
+phase, which is then *re-dispatched*: the failed partition's state is
+rolled back (counters, buffer, disk head) and the block phase replayed
+deterministically -- modelling a survivor server taking over the
+partition's replica, with the triangle-inequality bounds re-derived by
+the replay itself.  Because injection happens before any counter is
+charged and replay restarts from the rollback point, recovered runs
+produce answers *and* per-partition cost counters byte-identical to the
+fault-free run, on both backends.  Recovery is bounded by the plan's
+:class:`~repro.faults.RetryPolicy`; an exhausted budget surfaces the
+typed :class:`~repro.faults.FaultError` to the caller (the service layer
+degrades instead, see :mod:`repro.service.session`).
 """
 
 from __future__ import annotations
@@ -47,18 +64,19 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.core.answers import Answer
 from repro.core.database import Database, MeasuredRun
 from repro.core.types import QueryType
-from repro.service.session import QuerySession
 from repro.costmodel import Counters
 from repro.data import Dataset, GenericDataset, VectorDataset, as_dataset
+from repro.faults import FaultError, FaultInjector, RetryPolicy
 from repro.metric.distances import DistanceFunction
 from repro.parallel.decluster import DECLUSTER_STRATEGIES
+from repro.service.session import QuerySession
 from repro.storage.page import DEFAULT_BLOCK_SIZE
 
 
@@ -179,70 +197,29 @@ def _slice_dataset(dataset: Dataset, indices: np.ndarray) -> Dataset:
 
 
 # ----------------------------------------------------------------------
-# Process-backend worker side
+# Shared per-server block logic (both backends)
 # ----------------------------------------------------------------------
-#
-# Each simulated server is pinned to its own single-worker
-# ProcessPoolExecutor, so consecutive tasks for one server run in the
-# same OS process and can reuse per-server state cached here: the
-# partition's database (index build happens once) and, between the two
-# phases of one block, the admitted query session.
-
-#: Per-process cache: ``(shm_name, server_id) -> {"database", "block"}``.
-_WORKER_STATE: dict[tuple[str, int], dict[str, Any]] = {}
 
 
-def _worker_server(setup: dict[str, Any]) -> dict[str, Any]:
-    """Return (building on first use) this process's server state."""
-    key = (setup["shm_name"], setup["server_id"])
-    state = _WORKER_STATE.get(key)
-    if state is None:
-        shm = shared_memory.SharedMemory(name=setup["shm_name"])
-        try:
-            vectors = np.ndarray(
-                setup["shape"], dtype=setup["dtype"], buffer=shm.buf
-            )
-            partition = np.array(vectors[setup["global_indices"]])
-        finally:
-            shm.close()
-        state = {
-            "database": Database(
-                partition,
-                metric=setup["metric"],
-                access=setup["access"],
-                block_size=setup["block_size"],
-                buffer_fraction=setup["buffer_fraction"],
-                engine=setup["engine"],
-                index_options=setup["index_options"],
-            ),
-            "block": None,
-        }
-        _WORKER_STATE[key] = state
-    return state
+def _admit_block(
+    database: Database, payload: dict[str, Any], keys: list[Any]
+) -> tuple[QuerySession, dict[int, float]]:
+    """Phase 1 of one server's block: admit, seed, warm home queries.
 
-
-def _block_keys(db_indices: list[int] | None, n: int) -> list[Any]:
-    return [_block_key(db_indices, position) for position in range(n)]
-
-
-def _worker_phase1(
-    setup: dict[str, Any], payload: dict[str, Any]
-) -> dict[int, float]:
-    """Admit a block and warm up the queries homed at this server.
-
-    Returns the home candidate bounds to broadcast (position -> radius);
-    the admitted session is cached for :func:`_worker_phase2`.
+    Opens a fresh session over ``database``, submits every query of the
+    block, applies matrix seeding and explicit radius seeds, then warms
+    the queries *homed* at this server (``payload["home_positions"]``)
+    on their best local page.  Returns the session and the home
+    candidate bounds to broadcast (position -> radius) -- each bound is
+    sound for the merged result because home candidates are global
+    candidates, so their k-th distance bounds the global k-th-NN
+    distance.
     """
-    state = _worker_server(setup)
-    database = state["database"]
-    start = time.perf_counter()
-    snapshot = database.counters.copy()
     session = database.session(
         use_avoidance=payload["use_avoidance"],
         warm_start=payload["warm_start"],
         seed_from_queries=payload["db_indices"] is not None,
     )
-    keys = _block_keys(payload["db_indices"], len(payload["objs"]))
     for position, (obj, qtype) in enumerate(
         zip(payload["objs"], payload["qtypes"])
     ):
@@ -269,11 +246,153 @@ def _worker_phase1(
         radius = session.radius(keys[position])
         if radius < float("inf"):
             bounds[position] = radius
+    return session, bounds
+
+
+def _recover_block(
+    database: Database,
+    injector: FaultInjector,
+    server_id: int,
+    n_servers: int,
+    counters_snapshot: Counters,
+    disk_state: dict[str, Any],
+    fn: Callable[[], Any],
+    retry_fn: Callable[[], Any] | None = None,
+) -> Any:
+    """Run one server's block phase under crash/straggler recovery.
+
+    On a :class:`~repro.faults.FaultError` the server's mutable state is
+    rolled back to the phase-entry snapshot (counters, buffer pool, disk
+    head) and the phase replayed via ``retry_fn`` (default: ``fn``) --
+    the re-dispatch of the failed partition to the survivor
+    ``(server_id + 1) % n_servers``, which processes the partition's
+    replica deterministically.  The replay starts from the same state
+    the fault-free run would have had, so its answers and counters are
+    byte-identical; the fault schedule itself is *not* rewound (the
+    plan's RNG streams advance past the fault), exactly as a survivor
+    would see fresh I/O outcomes.  Bounded by the injector's
+    :class:`~repro.faults.RetryPolicy`; an exhausted budget re-raises
+    the last fault.
+    """
+    injector.begin_block()
+    attempt = 0
+    while True:
+        try:
+            if attempt == 0:
+                return fn()
+            return (retry_fn or fn)()
+        except FaultError as fault:
+            attempt += 1
+            if not injector.policy.allows(attempt):
+                raise
+            survivor = (server_id + 1) % max(1, n_servers)
+            injector.record_redispatch(
+                server_id, survivor, type(fault).__name__
+            )
+            database.counters.restore(counters_snapshot)
+            database.disk.restore_state(disk_state)
+            injector.begin_block()
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker side
+# ----------------------------------------------------------------------
+#
+# Each simulated server is pinned to its own single-worker
+# ProcessPoolExecutor, so consecutive tasks for one server run in the
+# same OS process and can reuse per-server state cached here: the
+# partition's database (index build happens once) and, between the two
+# phases of one block, the admitted query session.
+
+#: Per-process cache: ``(shm_name, server_id) -> {"database", "block"}``.
+_WORKER_STATE: dict[tuple[str, int], dict[str, Any]] = {}
+
+
+def _worker_server(setup: dict[str, Any]) -> dict[str, Any]:
+    """Return (building on first use) this process's server state."""
+    key = (setup["shm_name"], setup["server_id"])
+    state = _WORKER_STATE.get(key)
+    if state is None:
+        shm = shared_memory.SharedMemory(name=setup["shm_name"])
+        try:
+            vectors = np.ndarray(
+                setup["shape"], dtype=setup["dtype"], buffer=shm.buf
+            )
+            partition = np.array(vectors[setup["global_indices"]])
+        finally:
+            shm.close()
+        database = Database(
+            partition,
+            metric=setup["metric"],
+            access=setup["access"],
+            block_size=setup["block_size"],
+            buffer_fraction=setup["buffer_fraction"],
+            engine=setup["engine"],
+            index_options=setup["index_options"],
+        )
+        if setup.get("fault_plan") is not None:
+            # The worker re-derives the same per-(spec, site) RNG
+            # streams from the plan's seed, so the process backend
+            # injects exactly the faults the model backend would.
+            policy = (
+                RetryPolicy.from_dict(setup["retry"])
+                if setup.get("retry") is not None
+                else None
+            )
+            database.inject_faults(
+                setup["fault_plan"],
+                site=f"server:{setup['server_id']}",
+                policy=policy,
+            )
+        state = {"database": database, "block": None}
+        _WORKER_STATE[key] = state
+    return state
+
+
+def _block_keys(db_indices: list[int] | None, n: int) -> list[Any]:
+    return [_block_key(db_indices, position) for position in range(n)]
+
+
+def _worker_phase1(
+    setup: dict[str, Any], payload: dict[str, Any]
+) -> dict[int, float]:
+    """Admit a block and warm up the queries homed at this server.
+
+    Returns the home candidate bounds to broadcast (position -> radius);
+    the admitted session is cached for :func:`_worker_phase2`.  With a
+    fault plan armed, a crash or straggler timeout during admission or
+    warm-up is recovered worker-side by rolling back and replaying the
+    phase (see :func:`_recover_block`).
+    """
+    state = _worker_server(setup)
+    database = state["database"]
+    injector = database.fault_injector
+    start = time.perf_counter()
+    snapshot = database.counters.copy()
+    keys = _block_keys(payload["db_indices"], len(payload["objs"]))
+    if injector is None:
+        disk_state = None
+        stats_before = None
+        session, bounds = _admit_block(database, payload, keys)
+    else:
+        disk_state = database.disk.snapshot_state()
+        stats_before = injector.stats()
+        session, bounds = _recover_block(
+            database,
+            injector,
+            setup["server_id"],
+            setup["n_servers"],
+            snapshot,
+            disk_state,
+            lambda: _admit_block(database, payload, keys),
+        )
     state["block"] = {
         "session": session,
         "payload": payload,
         "keys": keys,
         "snapshot": snapshot,
+        "disk_state": disk_state,
+        "stats_before": stats_before,
         "wall": time.perf_counter() - start,
     }
     return bounds
@@ -281,35 +400,71 @@ def _worker_phase1(
 
 def _worker_phase2(
     setup: dict[str, Any], foreign_bounds: dict[int, float]
-) -> tuple[list[list[tuple[int, float]]], dict[str, int], float]:
+) -> tuple[
+    list[list[tuple[int, float]]], dict[str, int], float, dict[str, int] | None
+]:
     """Apply broadcast bounds, run the block, return global answers.
 
-    Returns ``(answers, counters, wall_seconds)`` where ``answers`` maps
-    each query position to ``(global_index, distance)`` pairs and
-    ``counters`` / ``wall_seconds`` cover both phases of this block.
+    Returns ``(answers, counters, wall_seconds, fault_stats)`` where
+    ``answers`` maps each query position to ``(global_index, distance)``
+    pairs, ``counters`` / ``wall_seconds`` cover both phases of this
+    block, and ``fault_stats`` is the worker injector's per-block stats
+    delta (``None`` without a fault plan) for the parent to absorb.
+
+    With a fault plan armed, a crash mid-run is recovered by rolling the
+    partition back to the *block entry* state and replaying phase 1 plus
+    the run -- the survivor re-derives the admission, the home bounds
+    (deterministically identical) and the answers from scratch.
     """
     state = _WORKER_STATE[(setup["shm_name"], setup["server_id"])]
     block = state["block"]
-    session = block["session"]
+    database = state["database"]
+    injector = database.fault_injector
     payload = block["payload"]
+    keys = block["keys"]
     start = time.perf_counter()
-    for position, bound in foreign_bounds.items():
-        session.bound_radius(block["keys"][position], float(bound))
-    results = session.run(
-        payload["objs"],
-        payload["qtypes"],
-        keys=block["keys"],
-        db_indices=payload["db_indices"],
-    )
+
+    def run(session: QuerySession) -> list[list[Answer]]:
+        for position, bound in foreign_bounds.items():
+            session.bound_radius(keys[position], float(bound))
+        return session.run(
+            payload["objs"],
+            payload["qtypes"],
+            keys=keys,
+            db_indices=payload["db_indices"],
+        )
+
+    if injector is None:
+        results = run(block["session"])
+        fault_stats: dict[str, int] | None = None
+    else:
+
+        def replay() -> list[list[Answer]]:
+            session, _ = _admit_block(database, payload, keys)
+            return run(session)
+
+        results = _recover_block(
+            database,
+            injector,
+            setup["server_id"],
+            setup["n_servers"],
+            block["snapshot"],
+            block["disk_state"],
+            lambda: run(block["session"]),
+            replay,
+        )
+        fault_stats = FaultInjector.stats_delta(
+            injector.stats(), block["stats_before"]
+        )
     wall = block["wall"] + (time.perf_counter() - start)
-    counters = state["database"].counters.diff(block["snapshot"]).as_dict()
+    counters = database.counters.diff(block["snapshot"]).as_dict()
     global_indices = setup["global_indices"]
     answers = [
         [(int(global_indices[a.index]), a.distance) for a in result]
         for result in results
     ]
     state["block"] = None
-    return answers, counters, wall
+    return answers, counters, wall, fault_stats
 
 
 class ParallelDatabase:
@@ -318,6 +473,12 @@ class ParallelDatabase:
     Parameters mirror :class:`~repro.core.database.Database`; the extra
     ``decluster`` parameter picks the partitioning strategy
     (``"round_robin"``, ``"random"``, ``"hash"``, ``"range"``).
+
+    ``fault_plan`` (optional :class:`~repro.faults.FaultPlan` or its
+    dict form) arms every server's disk with a fault gate at site
+    ``"server:<id>"`` and enables crash/straggler re-dispatch recovery
+    on both backends; ``retry_policy`` overrides the plan's embedded
+    :class:`~repro.faults.RetryPolicy`.  See the module docstring.
     """
 
     def __init__(
@@ -332,6 +493,8 @@ class ParallelDatabase:
         engine: str = "auto",
         index_options: dict[str, Any] | None = None,
         observer: Any = None,
+        fault_plan: Any = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.dataset = as_dataset(data)
         #: Optional :class:`~repro.obs.Observer`: per-server ``worker.run``
@@ -379,6 +542,16 @@ class ParallelDatabase:
             for local, global_index in enumerate(server.global_indices):
                 self._home_server[int(global_index)] = server.server_id
                 self._local_index[int(global_index)] = local
+        self.fault_injector: FaultInjector | None = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(
+                fault_plan, policy=retry_policy, observer=observer
+            )
+            for server in self.servers:
+                server.database.fault_injector = self.fault_injector
+                server.database.disk.faults = self.fault_injector.gate(
+                    f"server:{server.server_id}"
+                )
 
     def cold(self) -> None:
         """Clear every server's buffer."""
@@ -399,13 +572,21 @@ class ParallelDatabase:
         shm = shared_memory.SharedMemory(create=True, size=vectors.nbytes)
         np.ndarray(vectors.shape, dtype=vectors.dtype, buffer=shm.buf)[:] = vectors
         self._shm = shm
+        injector = self.fault_injector
         self._setups = [
             {
                 "shm_name": shm.name,
                 "server_id": server.server_id,
+                "n_servers": self.n_servers,
                 "shape": vectors.shape,
                 "dtype": str(vectors.dtype),
                 "global_indices": server.global_indices,
+                "fault_plan": (
+                    injector.plan.to_dict() if injector is not None else None
+                ),
+                "retry": (
+                    injector.policy.to_dict() if injector is not None else None
+                ),
                 **self._worker_config,
             }
             for server in self.servers
@@ -511,13 +692,17 @@ class ParallelDatabase:
                 outcome = self._run_block_process(
                     block, use_avoidance, warm_start, share_home_bounds
                 )
-                for s, (answers, counter_dict, wall) in enumerate(outcome):
+                for s, (answers, counter_dict, wall, fault_stats) in enumerate(
+                    outcome
+                ):
                     per_server_answers[s].extend(
                         [Answer(index, distance) for index, distance in result]
                         for result in answers
                     )
                     totals[s].add(Counters(**counter_dict))
                     walls[s] += wall
+                    if fault_stats and self.fault_injector is not None:
+                        self.fault_injector.absorb(fault_stats)
             else:
                 block_results = self._run_block(
                     block, use_avoidance, warm_start, share_home_bounds
@@ -592,7 +777,14 @@ class ParallelDatabase:
         use_avoidance: bool,
         warm_start: bool,
         share_home_bounds: bool,
-    ) -> list[tuple[list[list[tuple[int, float]]], dict[str, int], float]]:
+    ) -> list[
+        tuple[
+            list[list[tuple[int, float]]],
+            dict[str, int],
+            float,
+            dict[str, int] | None,
+        ]
+    ]:
         """One block on the process backend (true multi-core execution).
 
         Phase 1 admits the block on every server concurrently and warms
@@ -602,12 +794,7 @@ class ParallelDatabase:
         phases is the (cost-neglected) broadcast synchronisation point.
         """
         assert self._pools is not None and self._setups is not None
-        home_positions: list[list[int]] = [[] for _ in self.servers]
-        if share_home_bounds and block.db_indices is not None:
-            for position, global_index in enumerate(block.db_indices):
-                home = self._home_server.get(int(global_index))
-                if home is not None:
-                    home_positions[home].append(position)
+        home_positions = self._home_positions(block, share_home_bounds)
         payload = {
             "objs": block.objs,
             "qtypes": block.qtypes,
@@ -627,7 +814,7 @@ class ParallelDatabase:
         bounds: dict[int, float] = {}
         for future in phase1:
             bounds.update(future.result())
-        phase2 = []
+        phase2: list[Any] = []
         for s, (pool, setup) in enumerate(zip(self._pools, self._setups)):
             foreign = {
                 position: bound
@@ -637,6 +824,18 @@ class ParallelDatabase:
             phase2.append(pool.submit(_worker_phase2, setup, foreign))
         return [future.result() for future in phase2]
 
+    def _home_positions(
+        self, block: _Block, share_home_bounds: bool
+    ) -> list[list[int]]:
+        """Block positions homed at each server (bound-broadcast phase 1)."""
+        home_positions: list[list[int]] = [[] for _ in self.servers]
+        if share_home_bounds and block.db_indices is not None:
+            for position, global_index in enumerate(block.db_indices):
+                home = self._home_server.get(int(global_index))
+                if home is not None:
+                    home_positions[home].append(position)
+        return home_positions
+
     def _run_block(
         self,
         block: _Block,
@@ -644,77 +843,111 @@ class ParallelDatabase:
         warm_start: bool,
         share_home_bounds: bool,
     ) -> list[list[list[Answer]]]:
-        """One parallel multiple similarity query over all servers."""
+        """One parallel multiple similarity query over all servers.
+
+        The same two phases as the process backend, run sequentially:
+        phase 1 admits the block on every server and warms the queries
+        homed there (the coordinated parallel k-NN after [1] -- home
+        candidates are global candidates, so their k-th distance bounds
+        the global k-th-NN distance); the gathered bounds are broadcast
+        and phase 2 runs each server's block to completion.  With a
+        fault plan armed, each server phase runs under
+        :func:`_recover_block`: a crash or straggler timeout rolls the
+        partition back and replays the phase as the survivor's
+        re-dispatch.
+        """
         keys = [block.key(p) for p in range(len(block.objs))]
-        sessions: list[QuerySession] = []
-        for server in self.servers:
-            session = server.database.session(
-                use_avoidance=use_avoidance,
-                warm_start=warm_start,
-                seed_from_queries=block.db_indices is not None,
-            )
-            for position, (obj, qtype) in enumerate(
-                zip(block.objs, block.qtypes)
-            ):
-                session.submit(
-                    obj,
-                    qtype,
-                    key=keys[position],
-                    db_index=(
-                        block.db_indices[position]
-                        if block.db_indices is not None
-                        else None
-                    ),
+        home_positions = self._home_positions(block, share_home_bounds)
+        injector = self.fault_injector
+        payloads = [
+            {
+                "objs": block.objs,
+                "qtypes": block.qtypes,
+                "db_indices": block.db_indices,
+                "seed_radius": block.seed_radius,
+                "use_avoidance": use_avoidance,
+                "warm_start": warm_start,
+                "home_positions": home_positions[s],
+            }
+            for s in range(self.n_servers)
+        ]
+        snapshots: list[tuple[Counters, dict[str, Any]] | None] = [
+            None
+        ] * self.n_servers
+        if injector is not None:
+            snapshots = [
+                (
+                    server.database.counters.copy(),
+                    server.database.disk.snapshot_state(),
                 )
-            if block.db_indices is not None:
-                session.seed_radius_hints(keys)
-            if block.seed_radius is not None:
-                for key, radius in zip(keys, block.seed_radius):
-                    session.bound_radius(key, float(radius))
-            sessions.append(session)
+                for server in self.servers
+            ]
 
-        if share_home_bounds and block.db_indices is not None:
-            self._broadcast_home_bounds(sessions, block)
+        sessions: list[QuerySession] = [None] * self.n_servers  # type: ignore[list-item]
+        bounds: dict[int, float] = {}
 
-        return [
-            session.run(
+        def phase1(s: int) -> dict[int, float]:
+            session, server_bounds = _admit_block(
+                self.servers[s].database, payloads[s], keys
+            )
+            sessions[s] = session
+            return server_bounds
+
+        for s in range(self.n_servers):
+            if injector is None:
+                server_bounds = phase1(s)
+            else:
+                snapshot = snapshots[s]
+                assert snapshot is not None
+                server_bounds = _recover_block(
+                    self.servers[s].database,
+                    injector,
+                    s,
+                    self.n_servers,
+                    snapshot[0],
+                    snapshot[1],
+                    lambda s=s: phase1(s),
+                )
+            bounds.update(server_bounds)
+
+        def phase2(s: int) -> list[list[Answer]]:
+            session = sessions[s]
+            for position, bound in bounds.items():
+                if position in payloads[s]["home_positions"]:
+                    continue
+                session.bound_radius(keys[position], bound)
+            return session.run(
                 block.objs,
                 block.qtypes,
                 keys=keys,
                 db_indices=block.db_indices,
             )
-            for session in sessions
-        ]
 
-    def _broadcast_home_bounds(
-        self, sessions: list[QuerySession], block: _Block
-    ) -> None:
-        """Phase 1 of the coordinated parallel k-NN (after [1]).
+        results: list[list[list[Answer]]] = []
+        for s in range(self.n_servers):
+            if injector is None:
+                results.append(phase2(s))
+            else:
+                snapshot = snapshots[s]
+                assert snapshot is not None
 
-        Each query's home server warms the query up on its best local
-        page; the resulting candidate bound is broadcast to the other
-        servers as an initial query distance.  The bound is sound for the
-        merged result because the home candidates are global candidates,
-        so their k-th distance bounds the global k-th-NN distance.
-        """
-        assert block.db_indices is not None
-        bounds: dict[int, float] = {}
-        for position, global_index in enumerate(block.db_indices):
-            home = self._home_server.get(int(global_index))
-            if home is None:
-                continue
-            if not block.qtypes[position].adapts_radius:
-                continue
-            key = block.key(position)
-            sessions[home].warm_up([key])
-            radius = sessions[home].radius(key)
-            if radius < float("inf"):
-                bounds[position] = radius
-        for s, session in enumerate(sessions):
-            for position, bound in bounds.items():
-                if self._home_server.get(int(block.db_indices[position])) == s:
-                    continue
-                session.bound_radius(block.key(position), bound)
+                def replay(s: int = s) -> list[list[Answer]]:
+                    phase1(s)
+                    return phase2(s)
+
+                results.append(
+                    _recover_block(
+                        self.servers[s].database,
+                        injector,
+                        s,
+                        self.n_servers,
+                        snapshot[0],
+                        snapshot[1],
+                        lambda s=s: phase2(s),
+                        replay,
+                    )
+                )
+        return results
 
     @staticmethod
     def _merge(qtype: QueryType, per_server: list[list[Answer]]) -> list[Answer]:

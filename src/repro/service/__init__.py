@@ -31,6 +31,7 @@ from repro.service.scheduler import (
 from repro.service.session import (
     TTFA_METRIC,
     AnswerEvent,
+    DegradedAnswerEvent,
     QueryCompleted,
     QuerySession,
     run_in_blocks,
@@ -38,6 +39,7 @@ from repro.service.session import (
 
 __all__ = [
     "AnswerEvent",
+    "DegradedAnswerEvent",
     "ORDER_AFFINITY",
     "ORDER_FIFO",
     "QueryCompleted",

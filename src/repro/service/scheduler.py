@@ -41,7 +41,12 @@ from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 from repro.core.answers import Answer
 from repro.core.types import QueryType
-from repro.service.session import QueryCompleted, QuerySession
+from repro.faults.errors import FaultError
+from repro.service.session import (
+    DegradedAnswerEvent,
+    QueryCompleted,
+    QuerySession,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.planner import CostFit
@@ -100,6 +105,11 @@ class Ticket:
     answers: list[Answer] | None = None
     completed_tick: int | None = None
     batch_size: int | None = None
+    #: ``True`` when recovery was exhausted and ``answers`` holds the
+    #: Def. 4 partial-answer buffer contents instead of the exact list.
+    degraded: bool = False
+    #: Completeness bound of a degraded answer set (``None`` when exact).
+    completeness: float | None = None
 
     @property
     def done(self) -> bool:
@@ -173,6 +183,11 @@ class QueryScheduler:
         self._queue: list[Ticket] = []
         self._serial = 0
         self._n_flushed_blocks = 0
+        self._n_degraded_sessions = 0
+        if self.observer is not None:
+            # Publish the gauge up front so a fault-free serving episode
+            # still reports "0 degraded sessions" rather than nothing.
+            self.observer.metrics.set_gauge("service.degraded_sessions", 0.0)
         if fits:
             self.replan(fits)
 
@@ -326,9 +341,18 @@ class QueryScheduler:
         call streamed (recording time-to-first-answer), the rest drained
         -- so the answers match ``run_in_blocks`` on the same grouping,
         answer for answer and counter for counter.
+
+        When an unrecoverable fault aborts the block, the remaining
+        tickets are completed *degraded*: partial answers from the
+        Def. 4 buffer, a completeness bound, and the
+        ``service.degraded_sessions`` gauge bumped -- clients always get
+        their tickets back.
         """
         if not self._queue:
             return
+        injector = getattr(self.database, "fault_injector", None)
+        if injector is not None:
+            injector.begin_block()
         batch = self._order_batch(self._queue[: self.max_block])
         del self._queue[: min(self.max_block, len(self._queue))]
         session = self.session
@@ -354,6 +378,8 @@ class QueryScheduler:
             observer.metrics.set_gauge(
                 "service.queue_depth", float(len(self._queue))
             )
+        degraded_events: dict[Hashable, DegradedAnswerEvent] = {}
+        degraded_reason: str | None = None
         for position, ticket in enumerate(batch):
             sub_indices = (
                 db_indices[position:] if db_indices is not None else None
@@ -366,11 +392,20 @@ class QueryScheduler:
                 ):
                     if isinstance(event, QueryCompleted):
                         answers = list(event.answers)
+                    elif isinstance(event, DegradedAnswerEvent):
+                        degraded_events[event.key] = event
+                        degraded_reason = event.reason
+                if degraded_reason is not None:
+                    break
             else:
-                answers = session.ask(
-                    objs[position:], qtypes[position:],
-                    keys[position:], sub_indices,
-                )
+                try:
+                    answers = session.ask(
+                        objs[position:], qtypes[position:],
+                        keys[position:], sub_indices,
+                    )
+                except FaultError as fault:
+                    degraded_reason = f"{type(fault).__name__}: {fault}"
+                    break
             ticket.answers = answers
             ticket.completed_tick = self.tick
             ticket.batch_size = len(batch)
@@ -383,5 +418,46 @@ class QueryScheduler:
                     "service.wait.ticks",
                     float(self.tick - ticket.submitted_tick),
                 )
+        if degraded_reason is not None:
+            self._degrade_batch(batch, degraded_events, degraded_reason)
         for ticket in batch:
             session.retire(ticket.key)
+
+    def _degrade_batch(
+        self,
+        batch: list[Ticket],
+        events: dict[Hashable, DegradedAnswerEvent],
+        reason: str,
+    ) -> None:
+        """Complete the unfinished tickets of a faulted block, degraded."""
+        session = self.session
+        observer = self.observer
+        self._n_degraded_sessions += 1
+        n_degraded_tickets = 0
+        for ticket in batch:
+            if ticket.done and not ticket.degraded:
+                continue  # completed before the fault; answers are exact
+            event = events.get(ticket.key)
+            if event is None:
+                event = session._degraded_event(ticket.key, 0, reason)
+            ticket.answers = list(event.answers)
+            ticket.degraded = True
+            ticket.completeness = event.completeness
+            ticket.completed_tick = self.tick
+            ticket.batch_size = len(batch)
+            n_degraded_tickets += 1
+        if observer is not None:
+            observer.event(
+                "service.degraded_block",
+                block=self._n_flushed_blocks - 1,
+                tickets=n_degraded_tickets,
+                reason=reason,
+            )
+            observer.metrics.set_gauge(
+                "service.degraded_sessions", float(self._n_degraded_sessions)
+            )
+
+    @property
+    def degraded_sessions(self) -> int:
+        """Blocks that completed in degraded mode so far."""
+        return self._n_degraded_sessions

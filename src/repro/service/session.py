@@ -39,6 +39,7 @@ from typing import Any, Hashable, Iterator, Sequence
 from repro.core.answers import Answer
 from repro.core.multi_query import MultiQueryProcessor, default_query_key
 from repro.core.types import QueryType
+from repro.faults.errors import FaultError
 from repro.obs.observer import maybe_phase
 
 #: Metric name of the time-to-first-answer histogram (seconds from the
@@ -80,6 +81,48 @@ class QueryCompleted:
     key: Hashable
     answers: tuple[Answer, ...]
     pages_processed: int
+
+
+@dataclass(frozen=True)
+class DegradedAnswerEvent:
+    """Best-effort answer of one query after recovery was exhausted.
+
+    When an unrecoverable fault aborts a streamed drive, the session
+    degrades instead of raising: one event per buffered query of the
+    batch, carrying the Def. 4 partial-answer buffer contents and a
+    completeness bound.  The partial answers are exactly what repeated
+    calls would have restored from the buffer -- a sound *prefix
+    candidate set*, not a guess.
+
+    Attributes
+    ----------
+    key:
+        Buffer key of the query.
+    answers:
+        The buffered (partial) answers at the moment of degradation.
+    confirmed:
+        How many leading answers were already proven final before the
+        fault (the streamed prefix of the driving query; 0 for the
+        other queries of the batch).
+    pages_processed:
+        Data pages this query had processed.
+    total_pages:
+        Total data pages of the access method.
+    completeness:
+        ``pages_processed / total_pages`` -- the fraction of the
+        database provably reflected in ``answers`` (1.0 when the query
+        had already completed).
+    reason:
+        Human-readable description of the unrecovered fault.
+    """
+
+    key: Hashable
+    answers: tuple[Answer, ...]
+    confirmed: int
+    pages_processed: int
+    total_pages: int
+    completeness: float
+    reason: str
 
 
 class QuerySession:
@@ -221,10 +264,30 @@ class QuerySession:
         answers in the session buffer.  The event sequence ends with one
         :class:`QueryCompleted` whose ``answers`` equal the batch path's
         return value exactly.
+
+        Unlike :meth:`ask`, an unrecoverable injected fault does not
+        raise here: the stream degrades, ending with one
+        :class:`DegradedAnswerEvent` per buffered query instead of
+        :class:`QueryCompleted`.
         """
-        driver, others = self.processor.prepare(
-            query_objs, qtypes, keys, db_indices
-        )
+        try:
+            driver, others = self.processor.prepare(
+                query_objs, qtypes, keys, db_indices
+            )
+        except FaultError as fault:
+            qtypes_list = MultiQueryProcessor._broadcast_types(
+                qtypes, len(query_objs)
+            )
+            if keys is None:
+                batch_keys: list[Hashable] = [
+                    default_query_key(obj, qtype)
+                    for obj, qtype in zip(query_objs, qtypes_list)
+                ]
+            else:
+                batch_keys = list(keys)
+            return self._degraded_events(
+                list(dict.fromkeys(batch_keys)), 0, fault
+            )
         return self._stream_drive(driver, others)
 
     def _stream_drive(
@@ -242,27 +305,36 @@ class QuerySession:
         started = time.perf_counter()
         key = driver.key
         if not driver.complete:
-            with maybe_phase(
-                observer, "query.drive", slot=driver.slot, others=len(others)
-            ):
-                for lower_bound in processor.drive_pages(driver, others):
-                    # The page about to be processed -- and every later
-                    # one -- holds only objects at distance >= its lower
-                    # bound, so current answers strictly below it are
-                    # final and already in final list order.
-                    if ranked and len(driver.answers):
-                        current = driver.answers.materialize()
-                        while emitted < len(current):
-                            answer = current[emitted]
-                            if not answer.distance < lower_bound:
-                                break
-                            if emitted == 0 and observer is not None:
-                                self._first_answer(
-                                    observer, started, pages, early=True
+            try:
+                with maybe_phase(
+                    observer, "query.drive", slot=driver.slot, others=len(others)
+                ):
+                    for lower_bound in processor.drive_pages(driver, others):
+                        # The page about to be processed -- and every
+                        # later one -- holds only objects at distance >=
+                        # its lower bound, so current answers strictly
+                        # below it are final and already in final list
+                        # order.
+                        if ranked and len(driver.answers):
+                            current = driver.answers.materialize()
+                            while emitted < len(current):
+                                answer = current[emitted]
+                                if not answer.distance < lower_bound:
+                                    break
+                                if emitted == 0 and observer is not None:
+                                    self._first_answer(
+                                        observer, started, pages, early=True
+                                    )
+                                yield AnswerEvent(
+                                    key, answer, emitted, pages, True
                                 )
-                            yield AnswerEvent(key, answer, emitted, pages, True)
-                            emitted += 1
-                    pages += 1
+                                emitted += 1
+                        pages += 1
+            except FaultError as fault:
+                yield from self._degraded_events(
+                    [key, *(other.key for other in others)], emitted, fault
+                )
+                return
         final = driver.answers.materialize()
         if emitted == 0 and final and observer is not None:
             self._first_answer(observer, started, pages, early=False)
@@ -276,6 +348,47 @@ class QuerySession:
     ) -> None:
         observer.metrics.observe(TTFA_METRIC, time.perf_counter() - started)
         observer.event("session.first_answer", pages=pages, early=early)
+
+    def _degraded_events(
+        self, keys: Sequence[Hashable], confirmed_driver: int, fault: FaultError
+    ) -> Iterator[DegradedAnswerEvent]:
+        """One :class:`DegradedAnswerEvent` per batch query, driver first."""
+        observer = self.observer
+        reason = f"{type(fault).__name__}: {fault}"
+        if observer is not None:
+            observer.event(
+                "session.degraded",
+                fault=type(fault).__name__,
+                site=fault.site,
+                queries=len(keys),
+            )
+        for position, key in enumerate(keys):
+            confirmed = confirmed_driver if position == 0 else 0
+            yield self._degraded_event(key, confirmed, reason)
+
+    def _degraded_event(
+        self, key: Hashable, confirmed: int, reason: str
+    ) -> DegradedAnswerEvent:
+        total = self.processor.n_data_pages
+        pending = self.processor.lookup(key)
+        if pending is None:
+            return DegradedAnswerEvent(key, (), 0, 0, total, 0.0, reason)
+        pages = len(pending.processed_pages)
+        if pending.complete:
+            completeness = 1.0
+        elif total:
+            completeness = min(1.0, pages / total)
+        else:
+            completeness = 0.0
+        return DegradedAnswerEvent(
+            key,
+            tuple(pending.answers.materialize()),
+            confirmed,
+            pages,
+            total,
+            completeness,
+            reason,
+        )
 
     def ask(
         self,
@@ -338,8 +451,11 @@ def run_in_blocks(
     if len(qtypes_list) != len(query_objs):
         raise ValueError("need one query type per query object")
     observer = getattr(database, "observer", None)
+    injector = getattr(database, "fault_injector", None)
     results: list[list[Answer]] = []
     for block_index, start in enumerate(range(0, len(query_objs), block_size)):
+        if injector is not None:
+            injector.begin_block()
         session = QuerySession(
             database,
             engine=engine,

@@ -77,6 +77,23 @@ class LRUBufferPool:
         self._pages[page_id] = n_blocks
         self._used_blocks += n_blocks
 
+    def snapshot(self) -> tuple[OrderedDict[int, int], int, int, int]:
+        """Capture pool contents and statistics for crash rollback."""
+        return (
+            self._pages.copy(),
+            self._used_blocks,
+            self.lookups,
+            self.hits,
+        )
+
+    def restore(self, state: tuple[OrderedDict[int, int], int, int, int]) -> None:
+        """Roll the pool back to a :meth:`snapshot` (recovery replay)."""
+        pages, used_blocks, lookups, hits = state
+        self._pages = pages.copy()
+        self._used_blocks = used_blocks
+        self.lookups = lookups
+        self.hits = hits
+
     def invalidate(self, page_id: int) -> None:
         """Drop ``page_id`` from the pool (e.g. after a page split)."""
         blocks = self._pages.pop(page_id, None)

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.costmodel import Counters
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.page import DEFAULT_BLOCK_SIZE, Page
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import DiskFaultGate
 
 
 class SimulatedDisk:
@@ -33,6 +36,11 @@ class SimulatedDisk:
         self.buffer = LRUBufferPool(buffer_blocks)
         self._pages: dict[int, Page] = {}
         self._last_address_read: int | None = None
+        #: Optional :class:`~repro.faults.injector.DiskFaultGate`;
+        #: consulted before every read is charged.  ``None`` (the
+        #: default) keeps the read path entirely fault-free -- no extra
+        #: work beyond one attribute check.
+        self.faults: DiskFaultGate | None = None
 
     def register(self, page: Page) -> Page:
         """Add a page to the disk; page ids must be unique."""
@@ -77,6 +85,13 @@ class SimulatedDisk:
         elif page.page_id not in self._pages:
             raise KeyError(f"page {page.page_id} is not registered")
 
+        if self.faults is not None:
+            # Injection happens strictly before any counter is charged:
+            # retried reads charge nothing, the final successful read
+            # charges exactly once, so recovered runs keep counters
+            # byte-identical to the fault-free run.
+            self.faults.before_read(page.page_id)
+
         if self.buffer.access(page.page_id, page.n_blocks):
             self.counters.buffer_hits += page.n_blocks
         else:
@@ -100,6 +115,23 @@ class SimulatedDisk:
         the X-tree); resizing empties the pool.
         """
         self.buffer = LRUBufferPool(capacity_blocks)
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Capture mutable I/O state (buffer + head) for crash rollback.
+
+        Counters are snapshotted separately by the recovery layer (they
+        may be shared with distance accounting); this covers the state
+        the disk itself owns.
+        """
+        return {
+            "buffer": self.buffer.snapshot(),
+            "last_address_read": self._last_address_read,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Roll back to a :meth:`snapshot_state` before replaying a block."""
+        self.buffer.restore(state["buffer"])
+        self._last_address_read = state["last_address_read"]
 
     def reset_head(self) -> None:
         """Forget the last read address (a new scan starts cold)."""
