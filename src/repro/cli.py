@@ -39,6 +39,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"access methods: {', '.join(sorted(_ACCESS_METHODS))}")
     print(f"distance functions: {', '.join(sorted(_REGISTRY))}")
     print(f"engines: {', '.join(engine_names())}")
+    print(
+        "page pre-filter: pivot/quantized sketches (--prefilter; exact "
+        "by default, --recall-target < 1 opts into bounded recall)"
+    )
     return 0
 
 
@@ -63,6 +67,30 @@ def _flush_observer(observer, args: argparse.Namespace) -> None:
         print(f"wrote metrics snapshot to {args.metrics_out}")
 
 
+def _prefilter_config(args: argparse.Namespace):
+    """Build a PrefilterConfig from ``--prefilter``/``--recall-target``."""
+    enabled = getattr(args, "prefilter", False)
+    recall_target = getattr(args, "recall_target", 1.0)
+    if recall_target < 1.0 and not enabled:
+        raise SystemExit("--recall-target requires --prefilter")
+    if not enabled:
+        return None
+    from repro.prefilter import PrefilterConfig
+
+    return PrefilterConfig(recall_target=recall_target)
+
+
+def _print_prefilter_stats(prefilter) -> None:
+    """One summary line of the pre-filter tier's page accounting."""
+    stats = prefilter.stats
+    print(
+        f"prefilter [{prefilter.describe()}]: "
+        f"pruned {stats.pages_pruned} + skipped {stats.pages_skipped} "
+        f"of {stats.pages_delivered} page deliveries "
+        f"({stats.prune_effectiveness:.0%} dropped before the engine)"
+    )
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import Database, knn_query
     from repro.workloads import make_gaussian_mixture, sample_database_queries
@@ -72,7 +100,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     observer = _make_observer(args)
     database = Database(
-        dataset, access=args.access, engine=args.engine, observer=observer
+        dataset,
+        access=args.access,
+        engine=args.engine,
+        observer=observer,
+        prefilter=_prefilter_config(args),
     )
     print("database:", database.summary())
     indices = sample_database_queries(dataset, args.queries, seed=1)
@@ -82,7 +114,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             database.similarity_query(query, knn_query(10))
     database.cold()
     with database.measure() as multi:
-        database.run_in_blocks(
+        answers = database.run_in_blocks(
             queries,
             knn_query(10),
             block_size=len(queries),
@@ -98,6 +130,28 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{multi.total_seconds:8.3f} modelled seconds "
         f"({single.total_seconds / multi.total_seconds:.1f}x)"
     )
+    if database.prefilter is not None:
+        prefilter = database.prefilter
+        _print_prefilter_stats(prefilter)
+        if prefilter.approximate:
+            from repro.prefilter import MEASURED_RECALL_METRIC, measure_recall
+
+            database.disable_prefilter()
+            database.cold()
+            exact = database.run_in_blocks(
+                queries,
+                knn_query(10),
+                block_size=len(queries),
+                db_indices=indices,
+                warm_start=args.access != "scan",
+            )
+            recall = measure_recall(exact, answers)
+            print(
+                f"measured recall at target "
+                f"{prefilter.config.recall_target}: {recall:.4f}"
+            )
+            if observer is not None:
+                observer.metrics.set_gauge(MEASURED_RECALL_METRIC, recall)
     _flush_observer(observer, args)
     return 0
 
@@ -138,7 +192,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     observer = _make_observer(args) or Observer(trace=False)
     database = Database(
-        dataset, access=args.access, engine=args.engine, observer=observer
+        dataset,
+        access=args.access,
+        engine=args.engine,
+        observer=observer,
+        prefilter=_prefilter_config(args),
     )
     print("database:", database.summary())
     if args.faults:
@@ -214,6 +272,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for ticket in tickets:
         per_client[ticket.client_id] = per_client.get(ticket.client_id, 0) + 1
     print(f"  per-client completions: {sorted(per_client.values())}")
+    if database.prefilter is not None:
+        _print_prefilter_stats(database.prefilter)
     exit_code = 0
     if args.faults:
         exit_code = _report_serve_faults(
@@ -250,7 +310,15 @@ def _report_serve_faults(
         f"  degraded sessions: {scheduler.degraded_sessions}"
         f"  degraded tickets: {len(degraded)}"
     )
-    clean_database = Database(dataset, access=args.access, engine=args.engine)
+    # The reference run mirrors the prefilter configuration: in exact
+    # mode it changes nothing, in approximate mode the deterministic
+    # skips must match for answers to be comparable.
+    clean_database = Database(
+        dataset,
+        access=args.access,
+        engine=args.engine,
+        prefilter=_prefilter_config(args),
+    )
     clean_scheduler = clean_database.serve(
         block_target=scheduler.block_target,
         max_block=args.max_block,
@@ -388,6 +456,21 @@ def main(argv: list[str] | None = None) -> int:
         help="page-processing engine (batched = fused cross-distance kernel)",
     )
     demo.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="enable the sketch-based page pre-filter tier (exact: "
+        "answers and cost counters stay byte-identical)",
+    )
+    demo.add_argument(
+        "--recall-target",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="opt into the approximate fast mode (0 < R < 1): pages are "
+        "skipped before they are read and the measured recall is "
+        "reported; requires --prefilter",
+    )
+    demo.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -459,6 +542,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="probe a planner cost fit first and adopt its knee-point "
         "block target",
+    )
+    serve.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="enable the sketch-based page pre-filter tier for all "
+        "served blocks (exact unless --recall-target < 1)",
+    )
+    serve.add_argument(
+        "--recall-target",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="approximate fast mode (0 < R < 1); requires --prefilter",
     )
     serve.add_argument(
         "--faults",

@@ -139,6 +139,11 @@ class Database:
         Optional :class:`~repro.faults.FaultPlan` (or its dict form);
         when given, :meth:`inject_faults` is called with it.  Without
         one, the read path stays entirely fault-free.
+    prefilter:
+        Optional sketch-based page pre-filter tier: ``True`` builds one
+        with defaults, a dict or :class:`~repro.prefilter.PrefilterConfig`
+        customises it (see :meth:`enable_prefilter`).  Exact by default:
+        answers and counters stay byte-identical to running without it.
     """
 
     def __init__(
@@ -152,6 +157,7 @@ class Database:
         index_options: dict[str, Any] | None = None,
         observer: Any = None,
         fault_plan: Any = None,
+        prefilter: Any = None,
     ):
         self.dataset = as_dataset(data)
         self.counters = Counters()
@@ -189,6 +195,9 @@ class Database:
         self.fault_injector: Any = None
         if fault_plan is not None:
             self.inject_faults(fault_plan)
+        self.prefilter: Any = None
+        if prefilter is not None and prefilter is not False:
+            self.enable_prefilter(None if prefilter is True else prefilter)
 
     def attach_observer(self, observer: Any) -> Any:
         """Attach an :class:`~repro.obs.Observer` to this database.
@@ -224,6 +233,35 @@ class Database:
         self.fault_injector = injector
         self.disk.faults = injector.gate(site)
         return injector
+
+    def enable_prefilter(self, config: Any = None) -> Any:
+        """Build and attach the sketch-based page pre-filter tier.
+
+        ``config`` may be ``None`` (defaults), a
+        :class:`~repro.prefilter.PrefilterConfig`, its dict form, or an
+        already-built :class:`~repro.prefilter.PagePrefilter` (e.g. one
+        restored via :mod:`repro.storage.sketch_store`).  The sketch is
+        built over the access method's current data pages using its
+        :meth:`~repro.index.base.AccessMethod.prefilter_profile` hints;
+        construction-time distances are uncounted planning work.
+        Returns the attached :class:`~repro.prefilter.PagePrefilter`.
+        """
+        from repro.prefilter import PagePrefilter, PrefilterConfig
+
+        if isinstance(config, PagePrefilter):
+            self.prefilter = config
+            return config
+        if isinstance(config, dict):
+            config = PrefilterConfig(**config)
+        prefilter = PagePrefilter.build(
+            self.dataset, self.space, self.access_method, config
+        )
+        self.prefilter = prefilter
+        return prefilter
+
+    def disable_prefilter(self) -> None:
+        """Detach the pre-filter tier (queries run unfiltered again)."""
+        self.prefilter = None
 
     def _buffer_stats(self) -> dict[str, float]:
         """Snapshot-time buffer-pool statistics (Sec. 5.1 I/O sharing)."""
@@ -262,6 +300,7 @@ class Database:
         seed_from_queries: bool = False,
         warm_start: bool = False,
         matrix_mode: str = "eager",
+        prefilter: Any = None,
     ) -> MultiQueryProcessor:
         """Create an incremental multiple-query processor (Fig. 4)."""
         kwargs = {} if max_pivots is None else {"max_pivots": max_pivots}
@@ -272,6 +311,7 @@ class Database:
             seed_from_queries=seed_from_queries,
             warm_start=warm_start,
             matrix_mode=matrix_mode,
+            prefilter=prefilter,
             **kwargs,
         )
 
@@ -283,6 +323,7 @@ class Database:
         seed_from_queries: bool = False,
         warm_start: bool = False,
         matrix_mode: str = "eager",
+        prefilter: Any = None,
     ) -> Any:
         """Open a streaming :class:`~repro.service.QuerySession`.
 
@@ -301,6 +342,7 @@ class Database:
             seed_from_queries=seed_from_queries,
             warm_start=warm_start,
             matrix_mode=matrix_mode,
+            prefilter=prefilter,
         )
 
     def serve(
@@ -400,6 +442,9 @@ class Database:
             "engine": self.engine,
             "disk_blocks": self.disk.total_blocks,
             "buffer_blocks": self.disk.buffer.capacity_blocks,
+            "prefilter": (
+                self.prefilter.describe() if self.prefilter is not None else "off"
+            ),
         }
         info.update(self.access_method.summary())
         return info

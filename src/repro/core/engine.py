@@ -91,6 +91,14 @@ class PendingQuery:
     seeded: bool = False
     #: Whether the warm-start page has been processed already.
     warmed: bool = False
+    #: Cached query-to-pivot distances of the page pre-filter sketch
+    #: (set by :class:`~repro.prefilter.PagePrefilter`).
+    sketch_qd: Any = None
+    #: Pages dropped *unread* for this query by the approximate
+    #: pre-filter mode; they count into ``processed_pages`` (the query
+    #: completes without them) but not into completeness bounds, which
+    #: are computed over the post-filter candidate set.
+    approx_pruned: int = 0
 
     @property
     def radius(self) -> float:

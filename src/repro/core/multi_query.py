@@ -34,6 +34,7 @@ from repro.core.engine import (
     get_engine,
 )
 from repro.core.types import QueryType
+from repro.prefilter.replay import replay_pruned_page
 
 
 MATRIX_EAGER = "eager"
@@ -237,6 +238,13 @@ class MultiQueryProcessor:
         database's attached observer; when neither is set the processor
         uses the raw (uninstrumented) engine functions and emits
         nothing.  Observation never changes answers or counters.
+    prefilter:
+        Page pre-filter tier: ``None`` inherits the database's
+        (``Database.prefilter``), ``False`` disables it for this
+        processor, or pass a :class:`~repro.prefilter.PagePrefilter`
+        directly.  In exact mode (the default) the filter replays
+        provably empty pages instead of evaluating them, so answers and
+        counters stay byte-identical to running without it.
     """
 
     def __init__(
@@ -251,6 +259,7 @@ class MultiQueryProcessor:
         use_lemma2: bool = True,
         matrix_mode: str = MATRIX_EAGER,
         observer: Any = None,
+        prefilter: Any = None,
     ):
         self.database = database
         self.access = database.access_method
@@ -271,6 +280,11 @@ class MultiQueryProcessor:
         self.use_lemma2 = use_lemma2
         self.seed_from_queries = seed_from_queries
         self.warm_start = warm_start and not database.access_method.sequential_data_access
+        if prefilter is None:
+            prefilter = getattr(database, "prefilter", None)
+        elif prefilter is False:
+            prefilter = None
+        self.prefilter = prefilter
         self._pending: dict[Hashable, PendingQuery] = {}
         self._slots = _SlotMatrix(self.space, mode=matrix_mode)
         self._n_data_pages = len(self.access.data_pages())
@@ -536,15 +550,33 @@ class MultiQueryProcessor:
         drains the generator.  Draining without acting on the yields is
         exactly the pre-generator loop: answers and counters are
         byte-identical.
+
+        With a page pre-filter attached, each delivered page passes the
+        sketch tier first: in exact mode a page provably empty for the
+        whole batch is *replayed* (identical counters, no engine
+        kernels) after the usual read and batch formation; in the
+        opt-in approximate mode a page whose driver bound exceeds
+        ``recall_target * radius`` is dropped before it is even read.
         """
         stream = self.access.page_stream(driver.obj)
         counters = self.space.counters
+        drive_filter = (
+            self.prefilter.open_drive([driver, *others], self.observer)
+            if self.prefilter is not None
+            else None
+        )
         while True:
             item = stream.next_page(driver.radius)
             if item is None:
                 break
             lower_bound, page = item
             if page.page_id in driver.processed_pages:
+                continue
+            if drive_filter is not None and drive_filter.skip_before_read(
+                driver, page
+            ):
+                driver.processed_pages.add(page.page_id)
+                driver.approx_pruned += 1
                 continue
             yield lower_bound
             self.disk.read(
@@ -571,22 +603,42 @@ class MultiQueryProcessor:
                     for p, bound in zip(active_others, bounds)
                     if bound <= p.radius
                 )
-            self._process_page(
-                page,
-                batch,
-                self.dataset,
-                self.space,
-                self._slots,
-                counters,
-                use_avoidance=self.use_avoidance,
-                max_pivots=self.max_pivots,
-                use_lemma1=self.use_lemma1,
-                use_lemma2=self.use_lemma2,
-            )
+            if drive_filter is not None and drive_filter.provably_empty(
+                batch, page
+            ):
+                # Exact replay: every counter charge of the engine call
+                # below, none of its kernels (see repro.prefilter.replay).
+                replay_pruned_page(
+                    page,
+                    batch,
+                    self.dataset,
+                    self.space,
+                    self._slots,
+                    counters,
+                    use_avoidance=self.use_avoidance,
+                    max_pivots=self.max_pivots,
+                    use_lemma1=self.use_lemma1,
+                    use_lemma2=self.use_lemma2,
+                )
+            else:
+                self._process_page(
+                    page,
+                    batch,
+                    self.dataset,
+                    self.space,
+                    self._slots,
+                    counters,
+                    use_avoidance=self.use_avoidance,
+                    max_pivots=self.max_pivots,
+                    use_lemma1=self.use_lemma1,
+                    use_lemma2=self.use_lemma2,
+                )
             for query in batch:
                 if len(query.processed_pages) >= self._n_data_pages:
                     self._mark_complete(query)
         self._mark_complete(driver)
+        if drive_filter is not None:
+            drive_filter.finish()
 
 
 def run_in_blocks(

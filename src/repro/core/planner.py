@@ -79,6 +79,15 @@ class QueryPlanner:
         time and give stabler fits.
     probe_block:
         The larger of the two probed block sizes (the smaller is 1).
+    prefilter:
+        Optional page pre-filter configuration forwarded to every
+        candidate database (see
+        :meth:`~repro.core.database.Database.enable_prefilter`).  The
+        sketch pass itself is uncounted planning work, so its modelled
+        cost is folded into the fits explicitly: the fitted curves --
+        and with them the scheduler's knee-point replan -- see the
+        filtered read path *including* the sketch pass, not a
+        fictitious free lunch.
 
     Probing cost is real query work; the built candidate databases are
     kept, so executing the plan afterwards starts with warm structures.
@@ -92,6 +101,7 @@ class QueryPlanner:
         probe_queries: int = 8,
         probe_block: int | None = None,
         seed: int = 0,
+        prefilter: Any = None,
     ):
         if probe_queries < 2:
             raise ValueError("need at least two probe queries")
@@ -103,9 +113,38 @@ class QueryPlanner:
         self.probe_block = probe_block if probe_block is not None else probe_queries
         self.seed = seed
         self.databases = {
-            access: Database(self.dataset, metric=metric, access=access)
+            access: Database(
+                self.dataset, metric=metric, access=access, prefilter=prefilter
+            )
             for access in self.candidates
         }
+
+    @staticmethod
+    def _sketch_pass_state(database: Database) -> tuple[int, int]:
+        """Current sketch-pass work counts of the database's pre-filter."""
+        prefilter = database.prefilter
+        if prefilter is None:
+            return (0, 0)
+        stats = prefilter.stats
+        return (stats.bound_evaluations, stats.pivot_distance_evaluations)
+
+    @staticmethod
+    def _sketch_pass_seconds(
+        database: Database, before: tuple[int, int]
+    ) -> float:
+        """Modelled seconds of the sketch passes run since ``before``.
+
+        One sketch bound costs one comparison; one query-to-pivot
+        distance costs one distance calculation -- the same unit prices
+        the cost model charges the counted work, applied to the
+        uncounted planning work the pre-filter performed.
+        """
+        bounds, pivot_dists = QueryPlanner._sketch_pass_state(database)
+        model = database.cost_model
+        return (
+            (bounds - before[0]) * model.comparison_seconds
+            + (pivot_dists - before[1]) * model.distance_seconds
+        )
 
     def _probe(self, database: Database, qtype: QueryType) -> CostFit:
         # Clamp the probe sample to the dataset: sampling more queries
@@ -120,12 +159,16 @@ class QueryPlanner:
         queries = [self.dataset[i] for i in indices]
         # Point 1: single queries (m = 1).
         database.cold()
+        sketch_before = self._sketch_pass_state(database)
         with database.measure() as single:
             for query in queries:
                 database.similarity_query(query, qtype)
-        cost_single = single.total_seconds / len(queries)
+        cost_single = (
+            single.total_seconds + self._sketch_pass_seconds(database, sketch_before)
+        ) / len(queries)
         # Point 2: one block of probe_block queries.
         database.cold()
+        sketch_before = self._sketch_pass_state(database)
         with database.measure() as block:
             database.run_in_blocks(
                 queries,
@@ -134,7 +177,9 @@ class QueryPlanner:
                 db_indices=indices,
                 warm_start=not database.access_method.sequential_data_access,
             )
-        cost_block = block.total_seconds / len(queries)
+        cost_block = (
+            block.total_seconds + self._sketch_pass_seconds(database, sketch_before)
+        ) / len(queries)
         # Solve  cost(m) = shared/m + marginal  through both points.
         m2 = min(self.probe_block, len(queries))
         if m2 <= 1:

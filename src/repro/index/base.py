@@ -198,6 +198,20 @@ class AccessMethod:
         """
         return np.zeros(len(query_objs), dtype=float)
 
+    def prefilter_profile(self) -> dict[str, Any]:
+        """Hints for building a page sketch over this method's pages.
+
+        Consulted by :meth:`repro.prefilter.PagePrefilter.build`:
+        ``kind`` selects the sketch variant (``"pivot"`` raw intervals
+        or ``"quantized"`` bit-limited ones), ``bits`` the grid
+        resolution of the quantized kind (``None`` for the default), and
+        ``pivot_hints`` an optional list of dataset indices the method
+        already knows to be good pivots (e.g. M-tree routing objects).
+        The base profile -- raw pivot intervals, no hints -- is sound
+        for every access method.
+        """
+        return {"kind": "pivot", "bits": None, "pivot_hints": None}
+
     def summary(self) -> dict[str, Any]:
         """Human-readable structural statistics (for reports/tests)."""
         return {"name": self.name, "pages": len(self.data_pages())}

@@ -42,6 +42,10 @@ _GENERIC_OBJECT_BYTES = 256
 #: Routing-entry overhead: covering radius, parent distance, child pointer.
 _ROUTING_OVERHEAD_BYTES = 24
 
+#: Most pivots the prefilter profile hints with; the sketch builder
+#: truncates to its own pivot budget anyway.
+_PREFILTER_HINT_LIMIT = 16
+
 
 class _RoutingEntry:
     """Directory entry: routing object, covering radius, subtree."""
@@ -574,6 +578,31 @@ class MTree(AccessMethod):
         for entry in node.entries:
             objects.extend(self._subtree_objects(entry.child))
         return objects
+
+    def prefilter_profile(self) -> dict[str, Any]:
+        """Raw pivot intervals, seeded with the tree's routing objects.
+
+        The upper directory levels already hold objects promoted for
+        exactly the pivot property (small covering radii, spread apart),
+        so the sketch reuses them as pivot hints instead of selecting
+        from scratch.
+        """
+        hints: list[int] = []
+        frontier = [self.root] if self.root is not None else []
+        while frontier and len(hints) < 2 * _PREFILTER_HINT_LIMIT:
+            next_frontier: list[_MNode] = []
+            for node in frontier:
+                if node.is_leaf:
+                    continue
+                for entry in node.entries:
+                    hints.append(int(entry.obj_index))
+                    next_frontier.append(entry.child)
+            frontier = next_frontier
+        return {
+            "kind": "pivot",
+            "bits": None,
+            "pivot_hints": hints[:_PREFILTER_HINT_LIMIT] or None,
+        }
 
     def summary(self) -> dict[str, Any]:
         return {

@@ -15,6 +15,8 @@ the same workload.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.data import Dataset
 from repro.index.xtree import MIN_FANOUT_FRACTION, XTree
 from repro.metric.space import MetricSpace
@@ -54,3 +56,8 @@ class RStarTree(XTree):
             max_overlap=float("inf"),
             min_fanout_fraction=min_fanout_fraction,
         )
+
+    def prefilter_profile(self) -> dict[str, Any]:
+        """Quantized intervals, like the X-tree: the sketch compensates
+        in metric space for the directory overlap STR packing leaves."""
+        return {"kind": "quantized", "bits": None, "pivot_hints": None}

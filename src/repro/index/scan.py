@@ -80,6 +80,11 @@ class LinearScan(AccessMethod):
     def page_stream(self, query_obj: Any) -> PageStream:
         return _ScanStream(self)
 
+    def prefilter_profile(self) -> dict[str, Any]:
+        """Raw pivot intervals: the scan stream has no distance ranking
+        of its own, so the sketch tier is its only page pruning."""
+        return {"kind": "pivot", "bits": None, "pivot_hints": None}
+
     def summary(self) -> dict[str, Any]:
         return {
             "name": self.name,

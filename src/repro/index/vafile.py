@@ -141,6 +141,15 @@ class VAFile(AccessMethod):
         )
         self.codes = codes
         self.n_cells = n_cells
+        # Cell interval cache: the bound computations below used to
+        # re-materialise both (n, d) interval arrays on every call --
+        # one query at a time, on the hot path of every stream open.
+        # The cells are a pure function of the codes and the grid, so
+        # they are built once here and shared read-only.
+        self._cell_lo = lo + codes * self.grid_step
+        self._cell_lo.setflags(write=False)
+        self._cell_hi = self._cell_lo + self.grid_step
+        self._cell_hi.setflags(write=False)
 
         # Full vectors on regular data pages.
         capacity = data_page_capacity(d, disk.block_size)
@@ -166,23 +175,61 @@ class VAFile(AccessMethod):
         cell interval of the object is accumulated; a point inside the
         cell contributes zero.
         """
-        cell_lo = self.grid_lo + self.codes * self.grid_step
-        cell_hi = cell_lo + self.grid_step
-        gap = np.maximum(np.maximum(cell_lo - query, query - cell_hi), 0.0)
+        gap = np.maximum(
+            np.maximum(self._cell_lo - query, query - self._cell_hi), 0.0
+        )
         return np.sqrt(np.einsum("ij,ij->i", gap, gap))
 
     def upper_bounds(self, query: np.ndarray) -> np.ndarray:
         """Per-object Euclidean upper bounds from the approximation cells."""
-        cell_lo = self.grid_lo + self.codes * self.grid_step
-        cell_hi = cell_lo + self.grid_step
-        gap = np.maximum(np.abs(query - cell_lo), np.abs(cell_hi - query))
+        gap = np.maximum(
+            np.abs(query - self._cell_lo), np.abs(self._cell_hi - query)
+        )
         return np.sqrt(np.einsum("ij,ij->i", gap, gap))
+
+    def lower_bounds_many(self, queries: np.ndarray) -> np.ndarray:
+        """Lower bounds for a query batch in one pass: shape ``(m, n)``.
+
+        Equivalent to stacking :meth:`lower_bounds` per query, but the
+        cell-interval comparison runs once over the broadcast
+        ``(m, n, d)`` block instead of ``m`` Python-level iterations.
+        Purely computational: no counters are charged here (callers
+        charge ``mindist_evaluations`` per bound they consume, exactly
+        as for the single-query form).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        gap = np.maximum(
+            np.maximum(
+                self._cell_lo[None, :, :] - queries[:, None, :],
+                queries[:, None, :] - self._cell_hi[None, :, :],
+            ),
+            0.0,
+        )
+        return np.sqrt(np.einsum("mij,mij->mi", gap, gap))
+
+    def upper_bounds_many(self, queries: np.ndarray) -> np.ndarray:
+        """Upper bounds for a query batch in one pass: shape ``(m, n)``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        gap = np.maximum(
+            np.abs(queries[:, None, :] - self._cell_lo[None, :, :]),
+            np.abs(self._cell_hi[None, :, :] - queries[:, None, :]),
+        )
+        return np.sqrt(np.einsum("mij,mij->mi", gap, gap))
 
     def data_pages(self) -> list[Page]:
         return list(self.vector_pages)
 
     def page_stream(self, query_obj: Any) -> PageStream:
         return _VAFileStream(self, query_obj)
+
+    def prefilter_profile(self) -> dict[str, Any]:
+        """Quantized intervals at the file's own grid resolution: the
+        sketch then mirrors the VA-file's bit-budget discipline."""
+        return {
+            "kind": "quantized",
+            "bits": self.bits_per_dim,
+            "pivot_hints": None,
+        }
 
     def summary(self) -> dict[str, Any]:
         return {

@@ -562,6 +562,11 @@ class XTree(AccessMethod):
     def page_stream(self, query_obj: Any) -> PageStream:
         return _XTreeStream(self, query_obj)
 
+    def prefilter_profile(self) -> dict[str, Any]:
+        """Quantized intervals: the R-tree family already stores
+        bit-limited geometry (MBRs), so the sketch follows suit."""
+        return {"kind": "quantized", "bits": None, "pivot_hints": None}
+
     def page_lower_bounds(
         self,
         page: Page,

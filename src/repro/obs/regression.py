@@ -178,6 +178,34 @@ def entries_from_faults(result: Mapping[str, Any]) -> dict[str, dict]:
     return entries
 
 
+def entries_from_prefilter(result: Mapping[str, Any]) -> dict[str, dict]:
+    """Convert a ``BENCH_prefilter.json`` payload into store entries.
+
+    One entry per run mode (``off``, ``exact``, ``exact_noavoid``,
+    ``approx...``).  Counters are recorded for every mode; the exact
+    modes must match the ``off`` row's counters byte-for-byte (the
+    pre-filter's identity guarantee), so any drift fails
+    ``repro bench --check`` exactly.  Page-candidate reduction and
+    measured recall ride along as metadata.
+    """
+    entries: dict[str, dict] = {}
+    for row in result.get("rows", []):
+        entries[f"prefilter/{row['mode']}"] = make_entry(
+            row["seconds"],
+            counters=row.get("counters"),
+            meta={
+                "n_objects": result.get("n_objects"),
+                "n_queries": result.get("n_queries"),
+                "access": result.get("access"),
+                "pages_pruned": row.get("pages_pruned"),
+                "pages_skipped": row.get("pages_skipped"),
+                "candidate_reduction": row.get("candidate_reduction"),
+                "measured_recall": row.get("measured_recall"),
+            },
+        )
+    return entries
+
+
 def entries_from_bench_file(path: str) -> dict[str, dict]:
     """Convert a committed ``BENCH_*.json`` file, dispatching on its kind."""
     with open(path) as handle:
@@ -191,6 +219,8 @@ def entries_from_bench_file(path: str) -> dict[str, dict]:
         return entries_from_service(result)
     if kind == "faults":
         return entries_from_faults(result)
+    if kind == "prefilter":
+        return entries_from_prefilter(result)
     raise ValueError(f"unknown benchmark kind {kind!r} in {path!r}")
 
 

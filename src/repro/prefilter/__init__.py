@@ -1,0 +1,48 @@
+"""Sketch-based page pre-filter tier (exact by default, approximate opt-in).
+
+The second tier of the read path: per-page pivot sketches prune
+candidate pages in sketch space before the page engines run.  See
+:mod:`repro.prefilter.sketch` for the bound, :mod:`repro.prefilter.replay`
+for the counter-exact replay of pruned pages, and
+:mod:`repro.prefilter.filter` for the drive-level integration.
+"""
+
+from repro.prefilter.filter import (
+    MEASURED_RECALL_METRIC,
+    PAGES_PRUNED_METRIC,
+    PRUNE_EFFECTIVENESS_METRIC,
+    DriveFilter,
+    PagePrefilter,
+    PrefilterConfig,
+    PrefilterStats,
+    measure_recall,
+)
+from repro.prefilter.replay import replay_pruned_page
+from repro.prefilter.sketch import (
+    KIND_PIVOT,
+    KIND_QUANTIZED,
+    PivotSketch,
+    build_sketch,
+    lower_bound_matrix,
+    query_pivot_distances,
+    select_pivots,
+)
+
+__all__ = [
+    "DriveFilter",
+    "KIND_PIVOT",
+    "KIND_QUANTIZED",
+    "MEASURED_RECALL_METRIC",
+    "PAGES_PRUNED_METRIC",
+    "PRUNE_EFFECTIVENESS_METRIC",
+    "PagePrefilter",
+    "PivotSketch",
+    "PrefilterConfig",
+    "PrefilterStats",
+    "build_sketch",
+    "lower_bound_matrix",
+    "measure_recall",
+    "query_pivot_distances",
+    "replay_pruned_page",
+    "select_pivots",
+]

@@ -1,0 +1,339 @@
+"""The page pre-filter: sketch-space pruning ahead of the engines.
+
+:class:`PagePrefilter` owns one :class:`~repro.prefilter.sketch.PivotSketch`
+over an access method's data pages and hands each drive of a
+:class:`~repro.core.multi_query.MultiQueryProcessor` a
+:class:`DriveFilter`: one vectorized pass computes the sketch-space
+lower-bound matrix for the whole query batch against every page, and the
+per-page decisions afterwards are single row reads.
+
+Two modes:
+
+* **exact** (the default): a page is pruned only when the sketch bound
+  proves it empty for *every* query of its batch
+  (``lb > answers.radius``, strictly); the pruned page is then replayed
+  by :func:`~repro.prefilter.replay.replay_pruned_page`, so answers and
+  cost counters stay byte-identical to the unfiltered run while the
+  engine kernels never execute.
+* **approximate** (opt-in via ``recall_target < 1.0``): pages whose
+  driver bound exceeds ``recall_target * radius`` are skipped *before
+  they are read* -- bounded-recall throughput mode.  Counters then
+  legitimately differ; measured recall is reported via
+  :func:`measure_recall`.
+
+Sketch-bound arithmetic is uncounted planning work (the scheduler's
+affinity ordering precedent); the modelled cost of the pass is exposed
+through :class:`PrefilterStats` so the planner can fold it into its
+cost fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.answers import Answer
+from repro.core.engine import PendingQuery
+from repro.data import Dataset
+from repro.index.base import AccessMethod
+from repro.metric.space import MetricSpace
+from repro.prefilter.sketch import (
+    DEFAULT_BITS,
+    DEFAULT_N_PIVOTS,
+    KIND_PIVOT,
+    KIND_QUANTIZED,
+    PivotSketch,
+    build_sketch,
+    lower_bound_matrix,
+    query_pivot_distances,
+)
+from repro.storage.page import Page
+
+#: Metric names of the pre-filter tier (see docs/observability.md).
+PAGES_PRUNED_METRIC = "prefilter.pages_pruned"
+PRUNE_EFFECTIVENESS_METRIC = "prefilter.prune_effectiveness"
+MEASURED_RECALL_METRIC = "prefilter.measured_recall"
+
+
+@dataclass(frozen=True)
+class PrefilterConfig:
+    """Construction-time options of the pre-filter tier.
+
+    ``recall_target`` is the exactness opt-out: at the default ``1.0``
+    the filter only drops provably empty pages (answers and counters
+    byte-identical to the unfiltered run); below ``1.0`` pages are
+    skipped before they are read whenever the driver's sketch bound
+    exceeds ``recall_target`` times its current radius -- the smaller
+    the target, the more aggressive the skip.
+    """
+
+    n_pivots: int = DEFAULT_N_PIVOTS
+    seed: int = 0
+    #: ``"pivot"``, ``"quantized"`` or ``None`` (ask the access method).
+    kind: str | None = None
+    #: Grid resolution of the quantized kind; ``None`` asks the access
+    #: method (the VA-file reuses its own ``bits_per_dim``).
+    bits: int | None = None
+    recall_target: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_pivots < 1:
+            raise ValueError("n_pivots must be positive")
+        if not 0.0 < self.recall_target <= 1.0:
+            raise ValueError("recall_target must be in (0, 1]")
+        if self.kind is not None and self.kind not in (KIND_PIVOT, KIND_QUANTIZED):
+            raise ValueError(f"unknown sketch kind {self.kind!r}")
+
+    @property
+    def approximate(self) -> bool:
+        """Whether the bounded-recall fast mode is active."""
+        return self.recall_target < 1.0
+
+
+@dataclass
+class PrefilterStats:
+    """Cumulative pre-filter accounting (shared across a database).
+
+    ``bound_evaluations`` and ``pivot_distance_evaluations`` size the
+    sketch pass for the planner's cost fit; the page counts feed the
+    observability gauges and the benchmark's candidate-reduction claim.
+    """
+
+    drives: int = 0
+    pages_delivered: int = 0
+    pages_pruned: int = 0
+    pages_skipped: int = 0
+    candidate_evaluations_avoided: int = 0
+    bound_evaluations: int = 0
+    pivot_distance_evaluations: int = 0
+
+    @property
+    def pages_dropped(self) -> int:
+        """Pages the engines never evaluated (replayed or skipped)."""
+        return self.pages_pruned + self.pages_skipped
+
+    @property
+    def prune_effectiveness(self) -> float:
+        """Fraction of delivered pages dropped before the engines."""
+        if not self.pages_delivered:
+            return 0.0
+        return self.pages_dropped / self.pages_delivered
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict form for summaries, sessions and benchmarks."""
+        return {
+            "drives": self.drives,
+            "pages_delivered": self.pages_delivered,
+            "pages_pruned": self.pages_pruned,
+            "pages_skipped": self.pages_skipped,
+            "candidate_evaluations_avoided": self.candidate_evaluations_avoided,
+            "bound_evaluations": self.bound_evaluations,
+            "pivot_distance_evaluations": self.pivot_distance_evaluations,
+            "prune_effectiveness": self.prune_effectiveness,
+        }
+
+
+class PagePrefilter:
+    """Sketch-based page pre-filter bound to one database's pages."""
+
+    def __init__(
+        self,
+        sketch: PivotSketch,
+        space: MetricSpace,
+        config: PrefilterConfig | None = None,
+    ):
+        self.sketch = sketch
+        self.space = space
+        self.config = config if config is not None else PrefilterConfig()
+        self.stats = PrefilterStats()
+
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        space: MetricSpace,
+        access: AccessMethod,
+        config: PrefilterConfig | None = None,
+    ) -> "PagePrefilter":
+        """Build the sketch over an access method's current data pages.
+
+        The access method's :meth:`~repro.index.base.AccessMethod.prefilter_profile`
+        chooses the sketch kind, grid resolution and pivot hints unless
+        the config overrides them.
+        """
+        config = config if config is not None else PrefilterConfig()
+        profile = access.prefilter_profile()
+        kind = config.kind or profile.get("kind", KIND_PIVOT)
+        bits = config.bits or profile.get("bits") or DEFAULT_BITS
+        sketch = build_sketch(
+            dataset,
+            space,
+            access.data_pages(),
+            n_pivots=config.n_pivots,
+            seed=config.seed,
+            kind=kind,
+            bits=bits,
+            pivot_hints=profile.get("pivot_hints"),
+        )
+        return cls(sketch, space, config)
+
+    @property
+    def approximate(self) -> bool:
+        return self.config.approximate
+
+    def describe(self) -> str:
+        """One-line form for ``Database.summary`` / ``repro info``."""
+        mode = (
+            f"approx(recall_target={self.config.recall_target})"
+            if self.approximate
+            else "exact"
+        )
+        return f"{self.sketch.describe()} {mode}"
+
+    def query_distances(self, pending: PendingQuery) -> np.ndarray:
+        """Query-to-pivot distances, cached on the pending query."""
+        qd = pending.sketch_qd
+        if qd is None or qd.size != self.sketch.n_pivots:
+            qd = query_pivot_distances(self.sketch, self.space, pending.obj)
+            pending.sketch_qd = qd
+            self.stats.pivot_distance_evaluations += qd.size
+        return qd
+
+    def open_drive(
+        self, queries: Sequence[PendingQuery], observer: Any = None
+    ) -> "DriveFilter":
+        """One drive's filter: the vectorized bound pass over all pages."""
+        return DriveFilter(self, queries, observer)
+
+
+class DriveFilter:
+    """Per-drive sketch bounds for one query batch against every page."""
+
+    def __init__(
+        self,
+        prefilter: PagePrefilter,
+        queries: Sequence[PendingQuery],
+        observer: Any = None,
+    ):
+        self.prefilter = prefilter
+        self.observer = observer
+        stats = prefilter.stats
+        stats.drives += 1
+        qd = np.stack([prefilter.query_distances(q) for q in queries])
+        # The one vectorized pass: every (query, page) sketch bound of
+        # the drive, computed up front.
+        self.bounds = lower_bound_matrix(prefilter.sketch, qd)
+        stats.bound_evaluations += int(self.bounds.size)
+        self._row_of_query = {id(q): row for row, q in enumerate(queries)}
+        self._pages_delivered = 0
+        self._pages_pruned = 0
+        self._pages_skipped = 0
+
+    def _bound(self, query: PendingQuery, page: Page) -> float | None:
+        page_row = self.prefilter.sketch.row_of(page.page_id)
+        query_row = self._row_of_query.get(id(query))
+        if page_row is None or query_row is None:
+            return None  # unsketched page or late query: never prune
+        return float(self.bounds[query_row, page_row])
+
+    def skip_before_read(self, driver: PendingQuery, page: Page) -> bool:
+        """Approximate mode: drop the page before any I/O happens.
+
+        Only active below ``recall_target == 1.0``; the driver may lose
+        answers whose distance lies between ``recall_target * radius``
+        and ``radius``, which is exactly the recall the benchmark
+        measures.  Other batch queries are unaffected -- the page stays
+        unprocessed for them and their own drives decide it again.
+        """
+        config = self.prefilter.config
+        if not config.approximate:
+            return False
+        bound = self._bound(driver, page)
+        if bound is None:
+            return False
+        radius = driver.radius
+        if not np.isfinite(radius):
+            return False
+        skip = bound > config.recall_target * radius
+        if skip:
+            self._pages_skipped += 1
+            stats = self.prefilter.stats
+            stats.pages_delivered += 1
+            stats.pages_skipped += 1
+            if self.observer is not None:
+                self.observer.metrics.inc(PAGES_PRUNED_METRIC)
+        return skip
+
+    def provably_empty(self, batch: Sequence[PendingQuery], page: Page) -> bool:
+        """Exact mode: no query of ``batch`` can accept any page object.
+
+        True only when every query's sketch bound strictly exceeds its
+        ``answers.radius`` -- the value the answer lists accept against
+        -- so no offer could succeed and no radius can move while the
+        page is evaluated.  Charged-I/O, batch formation and the
+        query-distance matrix have already done their (identical) work
+        by the time this runs; the caller replays the page instead of
+        evaluating it.
+        """
+        stats = self.prefilter.stats
+        stats.pages_delivered += 1
+        self._pages_delivered += 1
+        page_row = self.prefilter.sketch.row_of(page.page_id)
+        if page_row is None:
+            return False
+        column = self.bounds[:, page_row]
+        for query in batch:
+            query_row = self._row_of_query.get(id(query))
+            if query_row is None:
+                return False
+            radius = query.answers.radius
+            if not column[query_row] > radius:
+                return False
+        self._pages_pruned += 1
+        stats.pages_pruned += 1
+        stats.candidate_evaluations_avoided += int(page.indices.size) * len(batch)
+        if self.observer is not None:
+            self.observer.metrics.inc(PAGES_PRUNED_METRIC)
+        return True
+
+    def finish(self) -> None:
+        """Drive completed: publish the drive-level span and gauge."""
+        if self.observer is None:
+            return
+        stats = self.prefilter.stats
+        self.observer.metrics.set_gauge(
+            PRUNE_EFFECTIVENESS_METRIC, stats.prune_effectiveness
+        )
+        self.observer.event(
+            "prefilter.pass",
+            delivered=self._pages_delivered,
+            pruned=self._pages_pruned,
+            skipped=self._pages_skipped,
+        )
+
+
+def measure_recall(
+    exact: Sequence[Sequence[Answer]], approximate: Sequence[Sequence[Answer]]
+) -> float:
+    """Macro-averaged answer recall of an approximate run.
+
+    Both arguments are per-query answer lists (the return shape of
+    ``query_all``/``run``); recall of one query is the fraction of the
+    exact answer's object indices the approximate answer retained, and
+    queries with empty exact answers count as fully recalled.
+    """
+    if len(exact) != len(approximate):
+        raise ValueError("need matching per-query answer lists")
+    if not exact:
+        return 1.0
+    recalls = []
+    for exact_answers, approx_answers in zip(exact, approximate):
+        reference = {answer.index for answer in exact_answers}
+        if not reference:
+            recalls.append(1.0)
+            continue
+        kept = {answer.index for answer in approx_answers}
+        recalls.append(len(reference & kept) / len(reference))
+    return float(np.mean(recalls))

@@ -1,0 +1,138 @@
+"""Counter-exact replay of a page evaluation that cannot produce answers.
+
+When the sketch bound proves that *every* query of a batch has
+``sketch_lb > answers.radius`` for a page, no object of the page can be
+accepted by any answer list: acceptance tests distances against
+``answers.radius`` (strictly when saturated, at the limit otherwise),
+and ``sketch_lb`` lower-bounds every object distance.  No radius can
+therefore change while the page is evaluated, which makes the engines'
+behaviour on the page fully deterministic from the state at page entry
+-- and that is what :func:`replay_pruned_page` reproduces: every counter
+charge of :func:`~repro.core.engine.process_page_vectorized` (identical,
+by the engine-equivalence invariant, to the reference and batched
+engines) without running the distance kernels whose results are known to
+be discarded.
+
+This is the avoidance-engine discipline of the batched engine inverted:
+where ``process_page_batched`` computes *more* than the modelled
+algorithm and refunds the difference, the replay computes *less* and
+charges the difference.  Either way the counters -- the paper's cost
+model -- are those of the unfiltered Fig. 4 run, byte for byte.
+
+What still must run:
+
+* the avoidance tests of every non-first query (they charge
+  ``avoidance_tries``/``avoided_calculations`` deterministically from
+  the known-row *values*), and
+* the known-row values a later query's avoidance test will consult --
+  computed through the uncounted kernels, since the replay charges
+  ``distance_calculations`` explicitly.
+
+What never runs: answer offers (rejected offers charge nothing and
+mutate nothing), the distance kernel of the last query of the batch,
+and every row beyond the avoidance pivot window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.avoidance import DEFAULT_MAX_PIVOTS, avoid_vectorized
+from repro.core.engine import PendingQuery, _fetch_pairs
+from repro.costmodel import Counters
+from repro.data import Dataset
+from repro.metric.space import MetricSpace
+from repro.storage.page import Page
+
+
+def _uncharged_distances(
+    space: MetricSpace, objects: Any, compute: np.ndarray, query_obj: Any
+) -> np.ndarray:
+    """Distances at the ``compute`` positions, bypassing the counters."""
+    distance = space.distance
+    if isinstance(objects, np.ndarray) and distance.is_vector_metric:
+        return np.asarray(distance.many(objects[compute], query_obj), dtype=float)
+    positions = np.nonzero(compute)[0]
+    return np.array(
+        [distance.one(objects[int(i)], query_obj) for i in positions], dtype=float
+    )
+
+
+def replay_pruned_page(
+    page: Page,
+    batch: list[PendingQuery],
+    dataset: Dataset,
+    space: MetricSpace,
+    matrix: Any,
+    counters: Counters,
+    use_avoidance: bool = True,
+    max_pivots: int = DEFAULT_MAX_PIVOTS,
+    use_lemma1: bool = True,
+    use_lemma2: bool = True,
+) -> None:
+    """Charge exactly what an engine would charge for a no-answer page.
+
+    Drop-in replacement for the ``process_page_*`` engines under the
+    precondition that no query of ``batch`` can accept any object of
+    ``page``.  Marks the page processed for every query, exactly like
+    the engines do.
+    """
+    indices = page.indices
+    n_objects = indices.size
+    if n_objects == 0:
+        for query in batch:
+            query.processed_pages.add(page.page_id)
+        return
+    if not use_avoidance:
+        # Every engine computes every (object, query) distance; none of
+        # the results can be accepted, so only the charge remains.
+        counters.distance_calculations += n_objects * len(batch)
+        for query in batch:
+            query.processed_pages.add(page.page_id)
+        return
+
+    objects: Any = None
+    known_rows = np.empty((len(batch), n_objects), dtype=float)
+    known_slots: list[int] = []
+
+    for position, query in enumerate(batch):
+        radius = query.radius
+        n_known = len(known_slots)
+        if n_known and not math.isinf(radius):
+            n_pivots = min(n_known, max_pivots) if max_pivots > 0 else n_known
+            pivot_slots = known_slots[:n_pivots]
+            query_to_known = _fetch_pairs(matrix, query.slot, pivot_slots)
+            avoided = avoid_vectorized(
+                known_rows[:n_pivots],
+                query_to_known,
+                radius,
+                counters,
+                max_pivots=0,
+                use_lemma1=use_lemma1,
+                use_lemma2=use_lemma2,
+            )
+            compute = ~avoided
+        else:
+            compute = np.ones(n_objects, dtype=bool)
+        counters.distance_calculations += int(np.count_nonzero(compute))
+        # A row is consulted only by *later* queries, and only while it
+        # sits inside the pivot window.
+        row_consulted = position + 1 < len(batch) and (
+            max_pivots <= 0 or position < max_pivots
+        )
+        if row_consulted:
+            row = np.full(n_objects, np.nan)
+            if compute.any():
+                if objects is None:
+                    objects = dataset.batch(indices)
+                row[compute] = _uncharged_distances(
+                    space, objects, compute, query.obj
+                )
+            known_rows[position] = row
+        else:
+            known_rows[position] = np.nan
+        known_slots.append(query.slot)
+        query.processed_pages.add(page.page_id)

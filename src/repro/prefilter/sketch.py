@@ -1,0 +1,285 @@
+"""Per-page pivot sketches: compact distance summaries for page pruning.
+
+A :class:`PivotSketch` summarises every data page of an access method by
+an interval ``[lo_j, hi_j]`` of distances to each of a small, seeded set
+of *pivot* objects drawn from the database itself.  For any object ``O``
+on a page and any query ``Q`` the triangle inequality gives
+
+    d(Q, O) >= |d(Q, P_j) - d(O, P_j)|
+            >= max(d(Q, P_j) - hi_j, lo_j - d(Q, P_j), 0)
+
+for every pivot ``P_j``, so the maximum of the right-hand side over all
+pivots is a *sound lower bound* on the distance between ``Q`` and any
+object of the page -- the same Lemma 1/2 structure the avoidance engine
+uses per object (Sec. 5.2), hoisted to page granularity and evaluated in
+one vectorized pass over all pages.
+
+Two variants:
+
+* ``pivot`` -- the raw float intervals;
+* ``quantized`` -- the intervals rounded outward onto a per-pivot
+  uniform grid of ``2**bits`` cells (lower bounds floored, upper bounds
+  ceiled), extending the VA-file discipline of conservative bit-limited
+  approximations to metric pivot distances.  Quantisation only ever
+  *widens* intervals, so the bound stays sound.
+
+Sketch construction and query-to-pivot distances are *planning work*:
+they run through the uncounted distance kernels (the same convention the
+scheduler's affinity ordering uses) and never touch the cost counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.data import Dataset
+from repro.metric.space import MetricSpace
+from repro.storage.page import Page
+
+KIND_PIVOT = "pivot"
+KIND_QUANTIZED = "quantized"
+
+#: Default number of pivots; 8 distance comparisons per page bound keep
+#: the sketch pass far below one avoided page evaluation.
+DEFAULT_N_PIVOTS = 8
+
+#: Default grid resolution of the quantized variant.
+DEFAULT_BITS = 8
+
+
+@dataclass
+class PivotSketch:
+    """Per-page pivot-distance intervals plus the pivot set itself.
+
+    ``page_lo``/``page_hi`` have shape ``(n_pages, n_pivots)`` and are
+    already conservative (dequantised) for the quantized kind; the raw
+    codes and grid are kept for persistence and inspection.
+    """
+
+    kind: str
+    pivot_indices: np.ndarray
+    pivot_objects: list[Any]
+    page_ids: np.ndarray
+    page_lo: np.ndarray
+    page_hi: np.ndarray
+    bits: int = 0
+    grid_lo: np.ndarray | None = None
+    grid_step: np.ndarray | None = None
+    codes_lo: np.ndarray | None = None
+    codes_hi: np.ndarray | None = None
+    _row_of: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_PIVOT, KIND_QUANTIZED):
+            raise ValueError(f"unknown sketch kind {self.kind!r}")
+        if self.page_lo.shape != self.page_hi.shape:
+            raise ValueError("page_lo and page_hi must have the same shape")
+        if self.page_lo.shape != (self.page_ids.size, self.pivot_indices.size):
+            raise ValueError("sketch arrays do not match pages x pivots")
+        self._row_of = {
+            int(page_id): row for row, page_id in enumerate(self.page_ids)
+        }
+
+    @property
+    def n_pivots(self) -> int:
+        return int(self.pivot_indices.size)
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.page_ids.size)
+
+    def row_of(self, page_id: int) -> int | None:
+        """Sketch row of a page id, or ``None`` for unsketched pages.
+
+        Pages created after the sketch was built (index inserts) have no
+        row; callers must treat them as never prunable.
+        """
+        return self._row_of.get(page_id)
+
+    def describe(self) -> str:
+        """Compact human-readable form for summaries and CLI rows."""
+        if self.kind == KIND_QUANTIZED:
+            return f"quantized(pivots={self.n_pivots}, bits={self.bits})"
+        return f"pivot(pivots={self.n_pivots})"
+
+
+def _distances_to_all(dataset: Dataset, space: MetricSpace, obj: Any) -> np.ndarray:
+    """Uncounted distances from every dataset object to ``obj``."""
+    distance = space.distance
+    if dataset.is_vector and distance.is_vector_metric:
+        return np.asarray(distance.many(dataset.vectors, obj), dtype=float)
+    return np.array(
+        [distance.one(dataset[i], obj) for i in range(len(dataset))], dtype=float
+    )
+
+
+def select_pivots(
+    dataset: Dataset,
+    space: MetricSpace,
+    n_pivots: int,
+    seed: int = 0,
+    hints: Sequence[int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded greedy max-min ("farthest point") pivot selection.
+
+    Returns ``(pivot_indices, obj_dists)`` where ``obj_dists`` has shape
+    ``(n, n_pivots)``: the distance of every dataset object to every
+    pivot, computed through the uncounted kernels.  ``hints`` (e.g. the
+    M-tree's root routing objects) are taken first, deduplicated, then
+    the remaining pivots maximise the minimum distance to the pivots
+    chosen so far -- the standard spread heuristic for metric pivots.
+    """
+    n = len(dataset)
+    if n == 0:
+        raise ValueError("cannot select pivots from an empty dataset")
+    n_pivots = min(n_pivots, n)
+    chosen: list[int] = []
+    if hints is not None:
+        for hint in hints:
+            index = int(hint)
+            if 0 <= index < n and index not in chosen:
+                chosen.append(index)
+            if len(chosen) >= n_pivots:
+                break
+    if not chosen:
+        rng = np.random.default_rng(seed)
+        chosen.append(int(rng.integers(n)))
+    columns = [_distances_to_all(dataset, space, dataset[i]) for i in chosen]
+    min_dist = np.min(np.stack(columns, axis=1), axis=1)
+    while len(chosen) < n_pivots:
+        candidate = int(np.argmax(min_dist))
+        if min_dist[candidate] <= 0.0:
+            break  # remaining objects coincide with a pivot
+        chosen.append(candidate)
+        column = _distances_to_all(dataset, space, dataset[candidate])
+        columns.append(column)
+        np.minimum(min_dist, column, out=min_dist)
+    return np.asarray(chosen, dtype=np.intp), np.stack(columns, axis=1)
+
+
+def quantize_intervals(
+    page_lo: np.ndarray, page_hi: np.ndarray, bits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Round intervals outward onto a per-pivot uniform grid.
+
+    Returns ``(lo, hi, grid_lo, grid_step, codes_lo, codes_hi)`` where
+    the dequantised ``lo <= page_lo`` and ``hi >= page_hi`` elementwise,
+    so the sketch bound derived from them can only get *weaker*, never
+    unsound -- the VA-file's conservative-cell discipline.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be between 1 and 16")
+    n_cells = 2**bits
+    grid_lo = page_lo.min(axis=0)
+    grid_hi = page_hi.max(axis=0)
+    span = np.where(grid_hi > grid_lo, grid_hi - grid_lo, 1.0)
+    grid_step = span / n_cells
+    codes_lo = np.floor((page_lo - grid_lo) / grid_step)
+    codes_lo = np.clip(codes_lo, 0, n_cells).astype(np.uint16)
+    codes_hi = np.ceil((page_hi - grid_lo) / grid_step)
+    codes_hi = np.clip(codes_hi, 0, n_cells).astype(np.uint16)
+    lo = grid_lo + codes_lo * grid_step
+    hi = grid_lo + codes_hi * grid_step
+    # Outward rounding must hold exactly despite floating point.
+    lo = np.minimum(lo, page_lo)
+    hi = np.maximum(hi, page_hi)
+    return lo, hi, grid_lo, grid_step, codes_lo, codes_hi
+
+
+def build_sketch(
+    dataset: Dataset,
+    space: MetricSpace,
+    pages: Sequence[Page],
+    n_pivots: int = DEFAULT_N_PIVOTS,
+    seed: int = 0,
+    kind: str = KIND_PIVOT,
+    bits: int = DEFAULT_BITS,
+    pivot_hints: Sequence[int] | None = None,
+) -> PivotSketch:
+    """Build a :class:`PivotSketch` over the given data pages.
+
+    All distance work is uncounted (planning work); empty pages get the
+    degenerate interval ``[+inf, -inf]`` whose bound is ``+inf`` -- they
+    hold no objects, so pruning them is trivially sound.
+    """
+    pivot_indices, obj_dists = select_pivots(
+        dataset, space, n_pivots, seed=seed, hints=pivot_hints
+    )
+    n_pages = len(pages)
+    p = pivot_indices.size
+    page_lo = np.full((n_pages, p), np.inf)
+    page_hi = np.full((n_pages, p), -np.inf)
+    page_ids = np.empty(n_pages, dtype=np.int64)
+    for row, page in enumerate(pages):
+        page_ids[row] = page.page_id
+        if page.indices.size:
+            member_dists = obj_dists[np.asarray(page.indices, dtype=np.intp)]
+            page_lo[row] = member_dists.min(axis=0)
+            page_hi[row] = member_dists.max(axis=0)
+    sketch = PivotSketch(
+        kind=KIND_PIVOT,
+        pivot_indices=pivot_indices,
+        pivot_objects=[dataset[int(i)] for i in pivot_indices],
+        page_ids=page_ids,
+        page_lo=page_lo,
+        page_hi=page_hi,
+    )
+    if kind == KIND_QUANTIZED:
+        occupied = np.isfinite(page_lo).all(axis=1)
+        if occupied.any():
+            lo_q, hi_q, grid_lo, grid_step, codes_lo, codes_hi = quantize_intervals(
+                page_lo[occupied], page_hi[occupied], bits
+            )
+            page_lo = page_lo.copy()
+            page_hi = page_hi.copy()
+            page_lo[occupied] = lo_q
+            page_hi[occupied] = hi_q
+        else:
+            grid_lo = grid_step = codes_lo = codes_hi = None
+        sketch = PivotSketch(
+            kind=KIND_QUANTIZED,
+            pivot_indices=pivot_indices,
+            pivot_objects=sketch.pivot_objects,
+            page_ids=page_ids,
+            page_lo=page_lo,
+            page_hi=page_hi,
+            bits=bits,
+            grid_lo=grid_lo,
+            grid_step=grid_step,
+            codes_lo=codes_lo,
+            codes_hi=codes_hi,
+        )
+    elif kind != KIND_PIVOT:
+        raise ValueError(f"unknown sketch kind {kind!r}")
+    return sketch
+
+
+def query_pivot_distances(
+    sketch: PivotSketch, space: MetricSpace, query_obj: Any
+) -> np.ndarray:
+    """Uncounted distances from a query object to every pivot."""
+    distance = space.distance
+    if distance.is_vector_metric and np.ndim(query_obj) == 1:
+        pivots = np.asarray(sketch.pivot_objects, dtype=float)
+        return np.asarray(distance.many(pivots, query_obj), dtype=float)
+    return np.array(
+        [distance.one(pivot, query_obj) for pivot in sketch.pivot_objects],
+        dtype=float,
+    )
+
+
+def lower_bound_matrix(sketch: PivotSketch, qd: np.ndarray) -> np.ndarray:
+    """Sketch-space lower bounds, one vectorized pass over all pages.
+
+    ``qd`` has shape ``(m, n_pivots)`` (one row of query-to-pivot
+    distances per query); the result has shape ``(m, n_pages)`` with
+    ``result[i, r] <= d(Q_i, O)`` for every object ``O`` on the page in
+    sketch row ``r``.
+    """
+    qd = np.atleast_2d(np.asarray(qd, dtype=float))
+    below = qd[:, None, :] - sketch.page_hi[None, :, :]
+    above = sketch.page_lo[None, :, :] - qd[:, None, :]
+    return np.maximum(below, above).clip(min=0.0).max(axis=2)

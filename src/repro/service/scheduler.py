@@ -461,3 +461,13 @@ class QueryScheduler:
     def degraded_sessions(self) -> int:
         """Blocks that completed in degraded mode so far."""
         return self._n_degraded_sessions
+
+    @property
+    def prefilter_stats(self) -> dict[str, float] | None:
+        """Pre-filter accounting of the shared session, if one is active.
+
+        Pass ``prefilter=...`` through the scheduler's session options
+        (or enable it database-wide) to activate the tier; the snapshot
+        covers every block the scheduler has flushed so far.
+        """
+        return self.session.prefilter_stats

@@ -105,13 +105,19 @@ class DegradedAnswerEvent:
         fault (the streamed prefix of the driving query; 0 for the
         other queries of the batch).
     pages_processed:
-        Data pages this query had processed.
+        Data pages this query had actually processed (pages dropped
+        unread by the approximate pre-filter are *not* counted -- they
+        were never evaluated).
     total_pages:
-        Total data pages of the access method.
+        Data pages of the query's candidate set: all data pages of the
+        access method, minus any the approximate pre-filter removed for
+        this query.  Without a pre-filter (or in its exact mode, whose
+        replayed pages count as processed -- they are provably
+        answer-free) this is simply the total page count.
     completeness:
         ``pages_processed / total_pages`` -- the fraction of the
-        database provably reflected in ``answers`` (1.0 when the query
-        had already completed).
+        *post-filter candidate set* provably reflected in ``answers``
+        (1.0 when the query had already completed).
     reason:
         Human-readable description of the unrecovered fault.
     """
@@ -147,6 +153,7 @@ class QuerySession:
         warm_start: bool = False,
         matrix_mode: str = "eager",
         observer: Any = None,
+        prefilter: Any = None,
     ):
         kwargs = {} if max_pivots is None else {"max_pivots": max_pivots}
         self.database = database
@@ -158,9 +165,23 @@ class QuerySession:
             warm_start=warm_start,
             matrix_mode=matrix_mode,
             observer=observer,
+            prefilter=prefilter,
             **kwargs,
         )
         self.observer = self.processor.observer
+
+    @property
+    def prefilter_stats(self) -> dict[str, float] | None:
+        """Snapshot of the page pre-filter accounting, if one is active.
+
+        The stats object is shared across every processor of the same
+        :class:`~repro.prefilter.PagePrefilter`; the snapshot is taken
+        at call time.
+        """
+        prefilter = self.processor.prefilter
+        if prefilter is None:
+            return None
+        return prefilter.stats.snapshot()
 
     # ------------------------------------------------------------------
     # The Def. 4 partial-answer buffer, first class
@@ -373,10 +394,15 @@ class QuerySession:
         pending = self.processor.lookup(key)
         if pending is None:
             return DegradedAnswerEvent(key, (), 0, 0, total, 0.0, reason)
-        pages = len(pending.processed_pages)
+        # The completeness bound is over the post-filter candidate set:
+        # pages the approximate pre-filter dropped unread were never
+        # evaluated (they neither support the answers nor remain owed),
+        # so they leave both the numerator and the denominator.
+        pages = len(pending.processed_pages) - pending.approx_pruned
+        total -= pending.approx_pruned
         if pending.complete:
             completeness = 1.0
-        elif total:
+        elif total > 0:
             completeness = min(1.0, pages / total)
         else:
             completeness = 0.0

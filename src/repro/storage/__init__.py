@@ -12,6 +12,7 @@ from repro.storage.buffer import LRUBufferPool
 from repro.storage.disk import SimulatedDisk
 from repro.storage.layout import data_page_capacity, paginate
 from repro.storage.page import DEFAULT_BLOCK_SIZE, Page, PageKind
+from repro.storage.sketch_store import load_sketch, save_sketch
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -20,5 +21,7 @@ __all__ = [
     "PageKind",
     "SimulatedDisk",
     "data_page_capacity",
+    "load_sketch",
     "paginate",
+    "save_sketch",
 ]

@@ -1,0 +1,111 @@
+"""Persistence for page pre-filter sketches.
+
+A :class:`~repro.prefilter.sketch.PivotSketch` is a pure function of the
+dataset, the page layout, and the build parameters, so rebuilding it is
+always possible -- but on large datasets pivot selection performs
+``n_pivots`` full passes over the data, and a mining campaign re-opening
+the same database should not pay that repeatedly.  This module stores
+the sketch arrays in a single compressed ``.npz`` archive.
+
+Pivot *objects* are deliberately not serialised: they live in the
+dataset, and persisting copies would both bloat the file and risk the
+copy drifting from the data it summarises.  :func:`load_sketch` rebinds
+them from the dataset via the stored pivot indices and validates the
+shapes, so a sketch file paired with the wrong dataset fails loudly
+instead of producing unsound bounds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data import Dataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: prefilter uses storage
+    from repro.prefilter.sketch import PivotSketch
+
+#: Format marker stored inside the archive; bump on incompatible change.
+_FORMAT = "repro-sketch-v1"
+
+#: Array fields persisted verbatim (the optional ones only when set).
+_OPTIONAL_ARRAYS = ("grid_lo", "grid_step", "codes_lo", "codes_hi")
+
+
+def save_sketch(sketch: "PivotSketch", path: str | Path) -> Path:
+    """Write a sketch to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "format": np.array(_FORMAT),
+        "kind": np.array(sketch.kind),
+        "bits": np.array(sketch.bits, dtype=np.int64),
+        "pivot_indices": np.asarray(sketch.pivot_indices),
+        "page_ids": np.asarray(sketch.page_ids),
+        "page_lo": np.asarray(sketch.page_lo),
+        "page_hi": np.asarray(sketch.page_hi),
+    }
+    for name in _OPTIONAL_ARRAYS:
+        value = getattr(sketch, name)
+        if value is not None:
+            arrays[name] = np.asarray(value)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_sketch(path: str | Path, dataset: Dataset) -> "PivotSketch":
+    """Load a sketch and rebind its pivot objects from ``dataset``.
+
+    Raises ``ValueError`` when the file is not a sketch archive, the
+    format version is unknown, or the stored pivot indices fall outside
+    the dataset -- the symptom of pairing a sketch with data it was not
+    built over.
+    """
+    # Imported here, not at module level: the prefilter package itself
+    # builds on the storage substrate.
+    from repro.prefilter.sketch import KIND_QUANTIZED, PivotSketch
+
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "format" not in archive.files:
+            raise ValueError(f"{path} is not a sketch archive")
+        fmt = str(archive["format"])
+        if fmt != _FORMAT:
+            raise ValueError(f"unsupported sketch format {fmt!r}")
+        kind = str(archive["kind"])
+        bits = int(archive["bits"])
+        pivot_indices = archive["pivot_indices"].astype(np.intp)
+        page_ids = archive["page_ids"].astype(np.int64)
+        page_lo = archive["page_lo"].astype(float)
+        page_hi = archive["page_hi"].astype(float)
+        optional = {
+            name: archive[name] if name in archive.files else None
+            for name in _OPTIONAL_ARRAYS
+        }
+    n = len(dataset)
+    if pivot_indices.size and (
+        pivot_indices.min() < 0 or pivot_indices.max() >= n
+    ):
+        raise ValueError(
+            f"sketch pivots reference objects outside the dataset "
+            f"(n={n}); the sketch was built over different data"
+        )
+    if kind == KIND_QUANTIZED and optional["grid_lo"] is not None:
+        expected = (pivot_indices.size,)
+        if optional["grid_lo"].shape != expected:
+            raise ValueError("sketch grid does not match the pivot count")
+    return PivotSketch(
+        kind=kind,
+        pivot_indices=pivot_indices,
+        pivot_objects=[dataset[int(i)] for i in pivot_indices],
+        page_ids=page_ids,
+        page_lo=page_lo,
+        page_hi=page_hi,
+        bits=bits,
+        grid_lo=optional["grid_lo"],
+        grid_step=optional["grid_step"],
+        codes_lo=optional["codes_lo"],
+        codes_hi=optional["codes_hi"],
+    )

@@ -1,0 +1,557 @@
+"""Tests for the sketch-based page pre-filter tier.
+
+The load-bearing invariant: in its default exact mode the pre-filter
+changes *nothing* observable -- answers AND every deterministic cost
+counter stay byte-identical to the unfiltered run across all five
+access methods and all three engines -- while provably empty pages are
+replayed instead of evaluated.  The approximate fast mode is an
+explicit ``recall_target`` opt-in whose recall is measured, never
+assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, knn_query, range_query
+from repro.core.planner import QueryPlanner
+from repro.data import VectorDataset
+from repro.prefilter import (
+    KIND_PIVOT,
+    KIND_QUANTIZED,
+    PagePrefilter,
+    PrefilterConfig,
+    build_sketch,
+    lower_bound_matrix,
+    measure_recall,
+    query_pivot_distances,
+    select_pivots,
+)
+from repro.storage.sketch_store import load_sketch, save_sketch
+
+# Small blocks spread the clustered data over enough pages for page
+# pruning to have something to prune.
+BLOCK_SIZE = 2048
+ACCESS_METHODS = ["scan", "xtree", "rstar", "mtree", "vafile"]
+ENGINES = ["reference", "vectorized", "batched"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Clustered vectors stored in cluster order (page-coherent)."""
+    rng = np.random.default_rng(11)
+    centers = rng.random((8, 6))
+    assign = np.sort(rng.integers(0, 8, 720))
+    points = np.clip(
+        centers[assign] + rng.standard_normal((720, 6)) * 0.03, 0, 1
+    )
+    return VectorDataset(points, labels=assign)
+
+
+@pytest.fixture(scope="module")
+def query_indices(dataset):
+    """Two cluster-local groups of four member queries each."""
+    indices = []
+    for cluster in (1, 5):
+        members = np.flatnonzero(dataset.labels == cluster)
+        indices.extend(int(i) for i in members[[3, 10, 20, 31]])
+    return indices
+
+
+@pytest.fixture(scope="module")
+def queries(dataset, query_indices):
+    return [dataset[i] for i in query_indices]
+
+
+def _space(database):
+    return database.space
+
+
+# ----------------------------------------------------------------------
+# Sketch soundness
+# ----------------------------------------------------------------------
+
+
+class TestSketch:
+    @pytest.mark.parametrize("kind", [KIND_PIVOT, KIND_QUANTIZED])
+    def test_lower_bounds_never_exceed_true_distances(self, dataset, kind):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        pages = database.access_method.data_pages()
+        sketch = build_sketch(
+            dataset, _space(database), pages, n_pivots=4, kind=kind, bits=6
+        )
+        rng = np.random.default_rng(3)
+        for query in rng.random((5, 6)):
+            qd = query_pivot_distances(sketch, _space(database), query)
+            bounds = lower_bound_matrix(sketch, qd)[0]
+            for row, page in enumerate(pages):
+                if page.indices.size == 0:
+                    continue
+                true_min = np.sqrt(
+                    ((dataset.vectors[page.indices] - query) ** 2).sum(axis=1)
+                ).min()
+                assert bounds[row] <= true_min + 1e-9
+
+    def test_quantized_intervals_contain_raw_intervals(self, dataset):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        pages = database.access_method.data_pages()
+        raw = build_sketch(
+            dataset, _space(database), pages, n_pivots=4, kind=KIND_PIVOT
+        )
+        quantized = build_sketch(
+            dataset,
+            _space(database),
+            pages,
+            n_pivots=4,
+            kind=KIND_QUANTIZED,
+            bits=5,
+        )
+        assert np.all(quantized.page_lo <= raw.page_lo + 1e-12)
+        assert np.all(quantized.page_hi >= raw.page_hi - 1e-12)
+
+    def test_row_of_unknown_page_is_none(self, dataset):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        sketch = build_sketch(
+            dataset,
+            _space(database),
+            database.access_method.data_pages(),
+            n_pivots=2,
+        )
+        assert sketch.row_of(10**9) is None
+
+    def test_pivot_selection_is_seeded_and_spread(self, dataset):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        first, dists_a = select_pivots(dataset, _space(database), 4, seed=7)
+        second, dists_b = select_pivots(dataset, _space(database), 4, seed=7)
+        assert np.array_equal(first, second)
+        assert np.array_equal(dists_a, dists_b)
+        assert len(set(first.tolist())) == 4
+
+    def test_pivot_hints_are_taken_first(self, dataset):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        chosen, _ = select_pivots(
+            dataset, _space(database), 3, hints=[42, 42, 7, -1, 10**9]
+        )
+        assert chosen[0] == 42 and chosen[1] == 7
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("access", ACCESS_METHODS)
+    def test_every_access_method_offers_a_profile(self, dataset, access):
+        database = Database(dataset, access=access, block_size=BLOCK_SIZE)
+        profile = database.access_method.prefilter_profile()
+        assert profile["kind"] in (KIND_PIVOT, KIND_QUANTIZED)
+        assert set(profile) >= {"kind", "bits", "pivot_hints"}
+
+    def test_vafile_reuses_its_grid_resolution(self, dataset):
+        database = Database(dataset, access="vafile", block_size=BLOCK_SIZE)
+        profile = database.access_method.prefilter_profile()
+        assert profile["kind"] == KIND_QUANTIZED
+        assert profile["bits"] == database.access_method.bits_per_dim
+
+    def test_mtree_hints_are_its_routing_objects(self, dataset):
+        database = Database(dataset, access="mtree", block_size=BLOCK_SIZE)
+        profile = database.access_method.prefilter_profile()
+        assert profile["kind"] == KIND_PIVOT
+        hints = profile["pivot_hints"]
+        assert hints and all(0 <= i < len(dataset) for i in hints)
+
+
+# ----------------------------------------------------------------------
+# Exact mode: byte-identical answers and counters, pages still pruned
+# ----------------------------------------------------------------------
+
+
+def _run_block(database, queries, query_indices, qtypes):
+    with database.measure() as run:
+        answers = database.run_in_blocks(
+            queries, qtypes, block_size=len(queries), db_indices=query_indices
+        )
+    pairs = [[(a.index, a.distance) for a in per] for per in answers]
+    return pairs, run.counters.as_dict()
+
+
+class TestExactIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("access", ACCESS_METHODS)
+    def test_answers_and_counters_identical(
+        self, dataset, queries, query_indices, access, engine
+    ):
+        qtypes = [knn_query(8)] * 4 + [range_query(0.12)] * 4
+        plain = Database(
+            dataset, access=access, engine=engine, block_size=BLOCK_SIZE
+        )
+        filtered = Database(
+            dataset,
+            access=access,
+            engine=engine,
+            block_size=BLOCK_SIZE,
+            prefilter=PrefilterConfig(n_pivots=6),
+        )
+        expected = _run_block(plain, queries, query_indices, qtypes)
+        got = _run_block(filtered, queries, query_indices, qtypes)
+        assert got[0] == expected[0]
+        assert got[1] == expected[1]
+        stats = filtered.prefilter.stats
+        assert stats.pages_delivered > 0
+        if access == "scan":
+            # The scan has no pruning of its own; the cluster-local
+            # block must actually drop pages or the identity assertion
+            # above proves nothing.
+            assert stats.pages_pruned > 0
+
+    def test_single_queries_keep_identity(self, dataset, queries):
+        plain = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        filtered = Database(
+            dataset,
+            access="scan",
+            block_size=BLOCK_SIZE,
+            prefilter=PrefilterConfig(),
+        )
+        for query in queries[:3]:
+            expected = plain.similarity_query(query, knn_query(5))
+            got = filtered.similarity_query(query, knn_query(5))
+            assert [(a.index, a.distance) for a in got] == [
+                (a.index, a.distance) for a in expected
+            ]
+        assert plain.counters.as_dict() == filtered.counters.as_dict()
+
+    def test_summary_reports_the_tier(self, dataset):
+        database = Database(
+            dataset,
+            access="scan",
+            block_size=BLOCK_SIZE,
+            prefilter=PrefilterConfig(),
+        )
+        assert "pivot" in database.summary()["prefilter"]
+        database.disable_prefilter()
+        assert database.summary()["prefilter"] == "off"
+
+    def test_enable_accepts_dict_config(self, dataset):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        database.enable_prefilter({"n_pivots": 3, "kind": "quantized"})
+        assert database.prefilter.sketch.kind == KIND_QUANTIZED
+        assert database.prefilter.sketch.n_pivots == 3
+
+
+# ----------------------------------------------------------------------
+# Approximate mode: explicit opt-in, measured recall
+# ----------------------------------------------------------------------
+
+
+class TestApproximateMode:
+    def test_recall_target_is_validated(self):
+        with pytest.raises(ValueError):
+            PrefilterConfig(recall_target=0.0)
+        with pytest.raises(ValueError):
+            PrefilterConfig(recall_target=1.5)
+        assert not PrefilterConfig().approximate
+        assert PrefilterConfig(recall_target=0.9).approximate
+
+    def test_pages_are_skipped_before_read(
+        self, dataset, queries, query_indices
+    ):
+        qtypes = [range_query(0.12)] * len(queries)
+        plain = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        approx = Database(
+            dataset,
+            access="scan",
+            block_size=BLOCK_SIZE,
+            prefilter=PrefilterConfig(recall_target=0.6),
+        )
+        exact = plain.run_in_blocks(
+            queries, qtypes, block_size=len(queries), db_indices=query_indices
+        )
+        got = approx.run_in_blocks(
+            queries, qtypes, block_size=len(queries), db_indices=query_indices
+        )
+        stats = approx.prefilter.stats
+        assert stats.pages_skipped > 0
+        # Skipped pages were never read: strictly fewer page reads.
+        assert approx.counters.page_reads < plain.counters.page_reads
+        recall = measure_recall(exact, got)
+        assert 0.0 <= recall <= 1.0
+        # The sketch bound is sound, so only answers between
+        # target*radius and radius can be lost; on well-separated
+        # clusters most survive.
+        assert recall >= 0.5
+
+    def test_skips_are_deterministic(self, dataset, queries, query_indices):
+        qtypes = [range_query(0.12)] * len(queries)
+        runs = []
+        for _ in range(2):
+            database = Database(
+                dataset,
+                access="scan",
+                block_size=BLOCK_SIZE,
+                prefilter=PrefilterConfig(recall_target=0.6),
+            )
+            answers = database.run_in_blocks(
+                queries,
+                qtypes,
+                block_size=len(queries),
+                db_indices=query_indices,
+            )
+            runs.append(
+                (
+                    [[(a.index, a.distance) for a in per] for per in answers],
+                    database.counters.as_dict(),
+                    database.prefilter.stats.snapshot(),
+                )
+            )
+        assert runs[0] == runs[1]
+
+
+class TestMeasureRecall:
+    def test_macro_average_over_queries(self):
+        class A:
+            def __init__(self, index):
+                self.index = index
+
+        exact = [[A(1), A(2)], [A(3), A(4)], []]
+        approx = [[A(1)], [A(3), A(4)], []]
+        assert measure_recall(exact, approx) == pytest.approx((0.5 + 1 + 1) / 3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            measure_recall([[]], [])
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("kind", [KIND_PIVOT, KIND_QUANTIZED])
+    def test_round_trip(self, dataset, tmp_path, kind):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        sketch = build_sketch(
+            dataset,
+            _space(database),
+            database.access_method.data_pages(),
+            n_pivots=4,
+            kind=kind,
+            bits=6,
+        )
+        path = save_sketch(sketch, tmp_path / "sketch.npz")
+        loaded = load_sketch(path, dataset)
+        assert loaded.kind == sketch.kind
+        assert loaded.bits == sketch.bits
+        assert np.array_equal(loaded.pivot_indices, sketch.pivot_indices)
+        assert np.array_equal(loaded.page_ids, sketch.page_ids)
+        assert np.array_equal(loaded.page_lo, sketch.page_lo)
+        assert np.array_equal(loaded.page_hi, sketch.page_hi)
+        for a, b in zip(loaded.pivot_objects, sketch.pivot_objects):
+            assert np.array_equal(a, b)
+
+    def test_loaded_sketch_filters_identically(self, dataset, tmp_path):
+        database = Database(
+            dataset,
+            access="scan",
+            block_size=BLOCK_SIZE,
+            prefilter=PrefilterConfig(),
+        )
+        path = save_sketch(database.prefilter.sketch, tmp_path / "s.npz")
+        restored = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        restored.enable_prefilter(
+            PagePrefilter(load_sketch(path, dataset), restored.space)
+        )
+        query = dataset[5]
+        assert [
+            (a.index, a.distance)
+            for a in restored.similarity_query(query, knn_query(5))
+        ] == [
+            (a.index, a.distance)
+            for a in database.similarity_query(query, knn_query(5))
+        ]
+
+    def test_wrong_dataset_fails_loudly(self, dataset, tmp_path):
+        database = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        sketch = build_sketch(
+            dataset,
+            _space(database),
+            database.access_method.data_pages(),
+            n_pivots=4,
+        )
+        path = save_sketch(sketch, tmp_path / "sketch.npz")
+        tiny = VectorDataset(np.asarray(dataset.vectors[:3]))
+        with pytest.raises(ValueError, match="different data"):
+            load_sketch(path, tiny)
+
+    def test_non_sketch_file_is_rejected(self, dataset, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, values=np.arange(3))
+        with pytest.raises(ValueError, match="not a sketch archive"):
+            load_sketch(path, dataset)
+
+
+# ----------------------------------------------------------------------
+# Planner and service integration
+# ----------------------------------------------------------------------
+
+
+class TestIntegration:
+    def test_planner_forwards_and_prices_the_sketch_pass(self, dataset):
+        planner = QueryPlanner(
+            dataset,
+            candidates=("scan",),
+            probe_queries=4,
+            prefilter=PrefilterConfig(),
+        )
+        database = planner.databases["scan"]
+        assert database.prefilter is not None
+        plan = planner.plan(16, knn_query(5))
+        assert database.prefilter.stats.bound_evaluations > 0
+        fit = plan.fits[0]
+        assert np.isfinite(fit.shared_seconds)
+        assert np.isfinite(fit.marginal_seconds)
+        # The sketch pass has a modelled, positive price.
+        before = planner._sketch_pass_state(database)
+        database.prefilter.stats.bound_evaluations += 100
+        assert planner._sketch_pass_seconds(database, before) > 0
+
+    def test_session_exposes_prefilter_stats(self, dataset, queries):
+        database = Database(
+            dataset,
+            access="scan",
+            block_size=BLOCK_SIZE,
+            prefilter=PrefilterConfig(),
+        )
+        session = database.session()
+        session.run(queries[:4], knn_query(5))
+        stats = session.prefilter_stats
+        assert stats is not None and stats["drives"] > 0
+        plain = Database(dataset, access="scan", block_size=BLOCK_SIZE)
+        assert plain.session().prefilter_stats is None
+
+    def test_prefilter_metrics_are_published(self, dataset, queries, query_indices):
+        from repro.obs import Observer
+        from repro.prefilter import (
+            PAGES_PRUNED_METRIC,
+            PRUNE_EFFECTIVENESS_METRIC,
+        )
+
+        observer = Observer(trace=True)
+        database = Database(
+            dataset,
+            access="scan",
+            block_size=BLOCK_SIZE,
+            observer=observer,
+            prefilter=PrefilterConfig(),
+        )
+        qtypes = [range_query(0.12)] * len(queries)
+        database.run_in_blocks(
+            queries, qtypes, block_size=len(queries), db_indices=query_indices
+        )
+        snapshot = observer.metrics.snapshot()
+        assert snapshot["counters"][PAGES_PRUNED_METRIC] > 0
+        assert PRUNE_EFFECTIVENESS_METRIC in snapshot["gauges"]
+        names = {record["name"] for record in observer.tracer.records()}
+        assert "prefilter.pass" in names
+
+
+# ----------------------------------------------------------------------
+# Faults: degraded completeness over the post-filter candidate set
+# ----------------------------------------------------------------------
+
+
+class TestDegradedWithPrefilter:
+    def _crash_plan(self, at_op):
+        from repro.faults import (
+            KIND_SERVER_CRASH,
+            FaultPlan,
+            RetryPolicy,
+            SiteSpec,
+        )
+
+        return FaultPlan(
+            seed=5,
+            sites=(
+                SiteSpec(
+                    pattern="server:0",
+                    kinds=(KIND_SERVER_CRASH,),
+                    at_ops=(at_op,),
+                    max_faults=1,
+                ),
+            ),
+            retry=RetryPolicy(max_retries=3),
+        )
+
+    def test_completeness_uses_post_filter_candidate_set(
+        self, dataset, queries
+    ):
+        """Crash mid-stream while the approximate filter is skipping.
+
+        Pages the filter dropped unread are not part of the candidate
+        set the degraded session was working through, so the
+        completeness bound must be computed net of them on both sides
+        of the fraction -- otherwise a heavily-filtered session would
+        report near-zero completeness it does not have.
+        """
+        from repro.service import DegradedAnswerEvent
+
+        qtypes = [range_query(0.12)] * len(queries)
+
+        def degraded_events(prefilter):
+            database = Database(
+                dataset,
+                access="scan",
+                block_size=BLOCK_SIZE,
+                fault_plan=self._crash_plan(at_op=2),
+                prefilter=prefilter,
+            )
+            session = database.session()
+            events = [
+                event
+                for event in session.stream(queries, qtypes)
+                if isinstance(event, DegradedAnswerEvent)
+            ]
+            assert events, "crash plan produced no degraded events"
+            return database, events
+
+        filtered_db, filtered = degraded_events(
+            PrefilterConfig(recall_target=0.6)
+        )
+        assert filtered_db.prefilter.stats.pages_skipped > 0
+        _, unfiltered = degraded_events(None)
+        n_pages = len(filtered_db.access_method.data_pages())
+        for event in filtered:
+            assert 0.0 <= event.completeness <= 1.0
+            assert event.pages_processed <= event.total_pages
+            assert event.total_pages <= n_pages
+        # The crashed driver had skipped pages unread; its event's
+        # denominator excludes them (post-filter candidate set).
+        assert any(event.total_pages < n_pages for event in filtered)
+        for event in unfiltered:
+            assert event.total_pages == n_pages
+
+    def test_exact_prefilter_keeps_fault_completeness(self, dataset, queries):
+        """Exact mode: replayed pages count as processed, so degraded
+        completeness matches the unfiltered run's bound exactly."""
+        from repro.service import DegradedAnswerEvent
+
+        qtypes = [range_query(0.12)] * len(queries)
+        bounds = []
+        for prefilter in (None, PrefilterConfig()):
+            database = Database(
+                dataset,
+                access="scan",
+                block_size=BLOCK_SIZE,
+                fault_plan=self._crash_plan(at_op=2),
+                prefilter=prefilter,
+            )
+            events = [
+                event
+                for event in database.session().stream(queries, qtypes)
+                if isinstance(event, DegradedAnswerEvent)
+            ]
+            assert events
+            bounds.append(
+                [
+                    (e.pages_processed, e.total_pages, e.completeness)
+                    for e in events
+                ]
+            )
+        assert bounds[0] == bounds[1]

@@ -133,3 +133,51 @@ class TestVAFile:
     def test_rejects_non_euclidean(self, vectors):
         with pytest.raises(ValueError):
             Database(vectors, access="vafile", metric="manhattan")
+
+    def test_cell_interval_cache_is_read_only(self, db):
+        vafile = db.access_method
+        assert not vafile._cell_lo.flags.writeable
+        assert not vafile._cell_hi.flags.writeable
+        assert np.all(vafile._cell_hi - vafile._cell_lo > 0)
+
+    def test_batched_bounds_match_stacked_single_queries(self, db, vectors):
+        # The one-pass (m, n) kernels must agree elementwise with the
+        # single-query forms they replace.
+        vafile = db.access_method
+        queries = np.random.default_rng(7).random((5, vectors.shape[1]))
+        lower_many = vafile.lower_bounds_many(queries)
+        upper_many = vafile.upper_bounds_many(queries)
+        assert lower_many.shape == (5, len(vectors))
+        for row, q in enumerate(queries):
+            assert np.array_equal(lower_many[row], vafile.lower_bounds(q))
+            assert np.array_equal(upper_many[row], vafile.upper_bounds(q))
+
+    def test_batched_bounds_accept_a_single_query(self, db, vectors):
+        vafile = db.access_method
+        q = np.random.default_rng(8).random(vectors.shape[1])
+        assert np.array_equal(
+            vafile.lower_bounds_many(q)[0], vafile.lower_bounds(q)
+        )
+
+    def test_vectorized_bounds_keep_counter_identity(self, vectors):
+        # Regression pin for the cached-cell rewrite of the bound hot
+        # loop: the vectorisation is an implementation detail, so a
+        # block of queries must charge exactly the same counters (and
+        # return the same answers) as the historical per-call form,
+        # whose counts are fixed here as literals derived from the
+        # access method's contract: one mindist evaluation per object
+        # per drive, every approximation page re-scanned per drive.
+        db = Database(
+            vectors, access="vafile", block_size=2048, buffer_fraction=0.0
+        )
+        queries = [vectors[i] for i in (3, 44, 215)]
+        with db.measure() as run:
+            answers = db.run_in_blocks(
+                queries, knn_query(4), block_size=3, db_indices=[3, 44, 215]
+            )
+        assert run.counters.mindist_evaluations == len(vectors) * len(queries)
+        for q, got in zip(queries, answers):
+            expected = brute_force_answers(vectors, q, knn_query(4))
+            assert sorted(a.distance for a in got) == pytest.approx(
+                [d for _, d in expected]
+            )
