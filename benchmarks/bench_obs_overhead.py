@@ -14,10 +14,16 @@ for the ``vectorized`` and ``batched`` engines in three modes:
     over ``off``.
 ``traced``
     Full tracing into the in-memory ring buffer.
+``provenance``
+    Full tracing *plus* per-query causal-card reconstruction
+    (:func:`repro.obs.provenance.build_cards` over the ring buffer) --
+    the cost of ``repro explain``-grade observability.
 
 Every mode is checked to produce identical answers and identical
 ``Counters``; results are written to ``BENCH_obs_overhead.json`` at the
-repository root.
+repository root, together with a plan-vs-actual audit point (planner
+probe -> scheduler serve -> ``PlanAudit`` summary and prediction-error
+histogram population).
 
 Run standalone (``python benchmarks/bench_obs_overhead.py``) or via
 pytest (``pytest benchmarks/bench_obs_overhead.py``).
@@ -45,13 +51,13 @@ BLOCK_SIZE = 16
 REPEATS = 30
 MAX_DISABLED_OVERHEAD = 0.03
 
-MODES = ("off", "disabled", "traced")
+MODES = ("off", "disabled", "traced", "provenance")
 
 
 def _observer_for(mode: str) -> Observer | None:
     if mode == "off":
         return None
-    return Observer(trace=mode == "traced")
+    return Observer(trace=mode in ("traced", "provenance"))
 
 
 def _time_once(engine: str, mode: str, vectors, queries, indices) -> dict:
@@ -66,12 +72,20 @@ def _time_once(engine: str, mode: str, vectors, queries, indices) -> dict:
         db_indices=indices,
         warm_start=True,
     )
+    cards = 0
+    if mode == "provenance":
+        # Card reconstruction is part of the provenance price: the
+        # timed region covers workload plus build_cards over the ring.
+        from repro.obs import build_cards
+
+        cards = len(build_cards(observer.tracer.records()))
     seconds = time.perf_counter() - start
     return {
         "seconds": seconds,
         "answers": [[(a.index, a.distance) for a in r] for r in results],
         "counters": database.counters.as_dict(),
         "trace_entries": len(observer.tracer) if observer is not None else 0,
+        "cards": cards,
     }
 
 
@@ -99,7 +113,7 @@ def _run_engine(engine: str) -> tuple[dict, dict]:
     baseline = runs["off"]["seconds"]
     overheads = {
         mode: runs[mode]["seconds"] / baseline - 1.0
-        for mode in ("disabled", "traced")
+        for mode in ("disabled", "traced", "provenance")
     }
     return runs, overheads
 
@@ -121,7 +135,7 @@ def run_bench() -> dict:
             if retry_overheads["disabled"] < overheads["disabled"]:
                 runs, overheads = retry_runs, retry_overheads
         baseline = runs["off"]
-        for mode in ("disabled", "traced"):
+        for mode in ("disabled", "traced", "provenance"):
             assert runs[mode]["answers"] == baseline["answers"], (engine, mode)
             assert runs[mode]["counters"] == baseline["counters"], (engine, mode)
         rows.append(
@@ -134,7 +148,9 @@ def run_bench() -> dict:
                 "seconds": {mode: runs[mode]["seconds"] for mode in MODES},
                 "overhead_disabled": overheads["disabled"],
                 "overhead_traced": overheads["traced"],
+                "overhead_provenance": overheads["provenance"],
                 "trace_entries": runs["traced"]["trace_entries"],
+                "cards": runs["provenance"]["cards"],
                 "equivalent": True,
             }
         )
@@ -143,24 +159,91 @@ def run_bench() -> dict:
         "repeats": REPEATS,
         "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
         "rows": rows,
+        "audit": run_audit_point(),
     }
     OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
     return result
 
 
+def run_audit_point() -> dict:
+    """Plan-vs-actual audit over a scheduled workload (one data point).
+
+    Probes a planner fit, serves a workload through the scheduler with
+    that fit adopted, and reports the :class:`~repro.obs.PlanAudit`
+    summary plus the population of the prediction-error histograms --
+    the ``BENCH_obs_overhead.json`` evidence that the audit loop runs
+    and converges in real use, not just in unit tests.
+    """
+    from repro.core.planner import QueryPlanner
+    from repro.obs import (
+        PREDICTION_ERROR_DISTANCES,
+        PREDICTION_ERROR_IO,
+        PREDICTION_ERROR_SECONDS,
+    )
+    from repro.workloads import sample_database_queries
+
+    rng = np.random.default_rng(7)
+    vectors = rng.random((2_048, 32))
+    observer = Observer(trace=False)
+    planner = QueryPlanner(vectors, candidates=("xtree",), probe_queries=8)
+    n_queries = 24
+    plan = planner.plan(n_queries, knn_query(10), max_block_size=8)
+    database = planner.database_for(plan)
+    database.attach_observer(observer)
+    scheduler = database.serve(block_target=plan.block_size, max_block=8)
+    scheduler.replan(plan.fits)
+    indices = sample_database_queries(planner.dataset, n_queries, seed=3)
+    for index in indices:
+        scheduler.submit(planner.dataset[index], knn_query(10))
+    scheduler.drain()
+    assert scheduler.audit is not None
+    histograms = observer.metrics.snapshot()["histograms"]
+    populated = {
+        name: histograms[name]["count"]
+        for name in (
+            PREDICTION_ERROR_SECONDS,
+            PREDICTION_ERROR_IO,
+            PREDICTION_ERROR_DISTANCES,
+        )
+        if name in histograms
+    }
+    return {
+        "plan": {
+            "access": plan.access,
+            "block_size": plan.block_size,
+            "predicted_seconds_per_query": plan.predicted_seconds_per_query,
+        },
+        "summary": scheduler.audit.summary(),
+        "prediction_error_observations": populated,
+    }
+
+
 def _render(result: dict) -> str:
     lines = [
         f"{'engine':<12} {'off ms':>9} {'disabled ms':>12} {'traced ms':>10} "
-        f"{'disabled ovh':>13} {'traced ovh':>11} {'entries':>8}"
+        f"{'prov ms':>9} {'disabled ovh':>13} {'traced ovh':>11} "
+        f"{'prov ovh':>9} {'entries':>8}"
     ]
     for row in result["rows"]:
         s = row["seconds"]
         lines.append(
             f"{row['engine']:<12} {s['off'] * 1e3:>9.2f} "
             f"{s['disabled'] * 1e3:>12.2f} {s['traced'] * 1e3:>10.2f} "
+            f"{s['provenance'] * 1e3:>9.2f} "
             f"{row['overhead_disabled'] * 100:>12.2f}% "
             f"{row['overhead_traced'] * 100:>10.2f}% "
+            f"{row['overhead_provenance'] * 100:>8.2f}% "
             f"{row['trace_entries']:>8}"
+        )
+    audit = result.get("audit", {})
+    summary = audit.get("summary", {})
+    if summary:
+        drift = summary.get("calibration_drift")
+        drift_text = f"{drift:.3f}" if drift is not None else "-"
+        lines.append(
+            f"audit: {summary.get('blocks_audited', 0)} blocks, "
+            f"calibration drift {drift_text}, prediction-error "
+            f"observations {audit.get('prediction_error_observations')}"
         )
     return "\n".join(lines)
 
@@ -172,6 +255,7 @@ def test_obs_overhead():
     for row in result["rows"]:
         assert row["equivalent"], row
         assert row["trace_entries"] > 0, row
+        assert row["cards"] > 0, row
         if row["engine"] == "batched":
             # Strict guard: the disabled fast path costs < 3% on the
             # batched-engine microbenchmark.
@@ -181,6 +265,12 @@ def test_obs_overhead():
             # the instrumentation cost measured on batched (<1%), so only
             # a coarse sanity bound is asserted.
             assert row["overhead_disabled"] < 0.20, row
+    audit = result["audit"]
+    assert audit["summary"]["blocks_audited"] > 0, audit
+    observations = audit["prediction_error_observations"]
+    for name, count in observations.items():
+        assert count > 0, (name, audit)
+    assert len(observations) == 3, audit
 
 
 if __name__ == "__main__":

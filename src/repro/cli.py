@@ -8,12 +8,15 @@
     python -m repro calibrate [-d DIM]   # time dist/comparison on this machine
     python -m repro experiments [...]    # full evaluation (run_all)
     python -m repro report METRICS.json  # pretty-print an observability run
+    python -m repro explain 3            # causal provenance card of query #3
     python -m repro bench --check        # perf-regression check vs. baselines
 
 ``demo`` and ``experiments`` accept ``--trace FILE`` (JSONL spans and
 events) and ``--metrics-out FILE`` (metrics snapshot: sharing factor,
 avoidance hit-rate, phase latency histograms); ``report`` renders such
-files.  See ``docs/observability.md``.
+files.  ``serve`` and ``report`` accept ``--slo SPEC`` (declarative
+latency/completeness objectives, evaluated with burn rates).  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -279,8 +282,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         exit_code = _report_serve_faults(
             args, database, scheduler, dataset, indices, tickets
         )
+    if scheduler.audit is not None and scheduler.audit.blocks_audited:
+        audit = scheduler.audit.summary()
+        drift = audit["calibration_drift"]
+        print(
+            f"plan audit: {audit['blocks_audited']} blocks, "
+            f"calibration drift {drift:.3f}"
+            + (" (plan too cheap)" if drift > 1.0 else "")
+        )
+    if args.slo:
+        exit_code = max(
+            exit_code, _evaluate_slo(args.slo, observer.metrics.snapshot(), args)
+        )
     _flush_observer(observer, args)
     return exit_code
+
+
+def _evaluate_slo(spec_path: str, snapshot: dict, args) -> int:
+    """Evaluate and render a SLO spec; non-zero exit on any breach."""
+    import json
+
+    from repro.obs import evaluate_slos, load_slo_spec, render_slo
+
+    results = evaluate_slos(load_slo_spec(spec_path), snapshot)
+    print()
+    print(render_slo(results))
+    report_path = getattr(args, "slo_report", None)
+    if report_path:
+        with open(report_path, "w") as handle:
+            json.dump(
+                [result.summary() for result in results], handle, indent=2
+            )
+            handle.write("\n")
+        print(f"wrote SLO evaluation to {report_path}")
+    return 1 if any(result.status == "breach" for result in results) else 0
 
 
 def _report_serve_faults(
@@ -360,6 +395,65 @@ def _cmd_report(args: argparse.Namespace) -> int:
             metrics = json.load(handle)
     trace_records = read_jsonl(args.trace) if args.trace else None
     print(render_report(metrics, trace_records))
+    if args.slo:
+        if metrics is None:
+            print("report: --slo needs a metrics file", file=sys.stderr)
+            return 2
+        return _evaluate_slo(args.slo, metrics, args)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Run a small traced workload and render one query's causal card.
+
+    The default configuration exercises the full distributed path: the
+    *process* backend of a two-server :class:`ParallelDatabase`, so the
+    rendered card stitches worker-process spans (page evaluations,
+    prunes, avoidance outcomes, each tagged with its server) back under
+    the coordinator's block span via the propagated trace context.
+    """
+    import json
+
+    from repro import knn_query
+    from repro.obs import Observer, build_cards, render_card
+    from repro.parallel import ParallelDatabase
+    from repro.workloads import make_gaussian_mixture, sample_database_queries
+
+    dataset = make_gaussian_mixture(
+        n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
+    )
+    observer = Observer(trace=True)
+    with ParallelDatabase(
+        dataset,
+        n_servers=args.servers,
+        access=args.access,
+        observer=observer,
+    ) as database:
+        indices = sample_database_queries(dataset, args.queries, seed=1)
+        queries = [dataset[i] for i in indices]
+        database.multiple_similarity_query(
+            queries, knn_query(args.k), db_indices=indices, backend=args.backend
+        )
+    if args.trace:
+        n = observer.write_trace(args.trace)
+        print(f"wrote {n} trace entries to {args.trace}", file=sys.stderr)
+    cards = build_cards(observer.tracer.records())
+    if not cards:
+        print("explain: the trace contains no queries", file=sys.stderr)
+        return 2
+    labels = list(cards)
+    if not 0 <= args.query_index < len(labels):
+        print(
+            f"explain: query index {args.query_index} out of range "
+            f"(trace holds {len(labels)} queries: 0..{len(labels) - 1})",
+            file=sys.stderr,
+        )
+        return 2
+    card = cards[labels[args.query_index]]
+    if args.json:
+        print(json.dumps(card.summary(), indent=2))
+    else:
+        print(render_card(card))
     return 0
 
 
@@ -566,6 +660,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument("--trace", default=None, metavar="FILE")
     serve.add_argument("--metrics-out", default=None, metavar="FILE")
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="evaluate service-level objectives from a spec file "
+        "(JSON or the YAML subset, see docs/observability.md); "
+        "exits non-zero on any breached objective",
+    )
+    serve.add_argument(
+        "--slo-report",
+        default=None,
+        metavar="FILE",
+        help="write the SLO evaluation results as JSON (CI artifact)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     report = subparsers.add_parser(
@@ -577,7 +685,61 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument(
         "--trace", default=None, metavar="FILE", help="trace JSONL (from --trace)"
     )
+    report.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="also evaluate service-level objectives against the "
+        "metrics snapshot; exits non-zero on any breach",
+    )
+    report.add_argument(
+        "--slo-report",
+        default=None,
+        metavar="FILE",
+        help="write the SLO evaluation results as JSON",
+    )
     report.set_defaults(func=_cmd_report)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="run a small traced workload and print one query's causal "
+        "provenance card",
+    )
+    explain.add_argument(
+        "query_index",
+        type=int,
+        help="which query to explain, in admission order (0-based)",
+    )
+    explain.add_argument("--objects", type=int, default=4000)
+    explain.add_argument("--queries", type=int, default=8)
+    explain.add_argument("-k", type=int, default=10, help="neighbours per query")
+    explain.add_argument(
+        "--servers", type=int, default=2, help="simulated servers"
+    )
+    explain.add_argument(
+        "--backend",
+        default="process",
+        choices=["process", "model"],
+        help="parallel backend; 'process' demonstrates cross-process "
+        "trace stitching (the default)",
+    )
+    explain.add_argument(
+        "--access",
+        default="xtree",
+        choices=["scan", "xtree", "mtree", "rstar", "vafile"],
+    )
+    explain.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also write the merged trace as JSON Lines ('.gz' for gzip)",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the card as JSON instead of the rendered text",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     bench = subparsers.add_parser(
         "bench", help="run benchmark suites and compare against baselines"

@@ -22,6 +22,7 @@ queries still pending.
 from __future__ import annotations
 
 import math
+import zlib
 from typing import Any, Hashable, Iterator, Sequence
 
 import numpy as np
@@ -180,6 +181,27 @@ class _SlotMatrix:
         return self.matrix[slot, others]
 
 
+def query_label(key: Hashable) -> str:
+    """Compact, process-stable trace label of a query key.
+
+    Explicit keys (``("serve", 3)``, ``("parallel", 17)``) render as
+    their ``str``; :func:`default_query_key` keys embed the query
+    object's raw bytes, which are digested (CRC32 -- stable across
+    processes, unlike ``hash``) so trace attributes stay small.  The
+    label is what ``query.admit`` / ``query.drive`` records carry and
+    what :mod:`repro.obs.provenance` joins cards on.
+    """
+    if (
+        isinstance(key, tuple)
+        and len(key) == 3
+        and key[0] == "array"
+        and isinstance(key[1], bytes)
+    ):
+        digest = zlib.crc32(key[1]) & 0xFFFFFFFF
+        return f"('array', {digest:#010x}, {key[2]})"
+    return str(key)
+
+
 def default_query_key(obj: Any, qtype: QueryType) -> Hashable:
     """Identity of a query within a processor's buffer.
 
@@ -335,6 +357,7 @@ class MultiQueryProcessor:
                 slot=pending.slot,
                 kind=qtype.kind,
                 pending=len(self._pending),
+                query=query_label(key),
             )
         return pending
 
@@ -522,7 +545,10 @@ class MultiQueryProcessor:
         """Complete ``driver``, collecting partial answers for ``others``."""
         if self.observer is not None:
             with self.observer.phase(
-                "query.drive", slot=driver.slot, others=len(others)
+                "query.drive",
+                slot=driver.slot,
+                others=len(others),
+                query=query_label(driver.key),
             ):
                 self._drive_inner(driver, others)
             return

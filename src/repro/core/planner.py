@@ -27,17 +27,42 @@ from repro.workloads.queries import sample_database_queries
 
 @dataclass(frozen=True)
 class CostFit:
-    """Fitted per-query cost curve of one access method."""
+    """Fitted per-query cost curve of one access method.
+
+    Besides the headline seconds curve, the probe fits the same
+    ``shared/m + marginal`` structure to the two *counted* cost
+    components of the paper's Sec. 4 model -- page reads and distance
+    calculations -- so the plan-vs-actual audit
+    (:mod:`repro.obs.audit`) can compare each modelled component against
+    the observed counters, not just the bottom line.  The component
+    fields default to 0 for fits constructed the pre-audit way.
+    """
 
     access: str
     shared_seconds: float
     marginal_seconds: float
+    shared_io_pages: float = 0.0
+    marginal_io_pages: float = 0.0
+    shared_distances: float = 0.0
+    marginal_distances: float = 0.0
 
     def per_query(self, block_size: int) -> float:
         """Predicted per-query cost at block size ``block_size``."""
         if block_size < 1:
             raise ValueError("block size must be positive")
         return self.shared_seconds / block_size + self.marginal_seconds
+
+    def pages_per_query(self, block_size: int) -> float:
+        """Predicted page reads per query at block size ``block_size``."""
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        return self.shared_io_pages / block_size + self.marginal_io_pages
+
+    def distances_per_query(self, block_size: int) -> float:
+        """Predicted distance calculations per query at ``block_size``."""
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        return self.shared_distances / block_size + self.marginal_distances
 
 
 @dataclass(frozen=True)
@@ -180,18 +205,33 @@ class QueryPlanner:
         cost_block = (
             block.total_seconds + self._sketch_pass_seconds(database, sketch_before)
         ) / len(queries)
-        # Solve  cost(m) = shared/m + marginal  through both points.
+        # Solve  cost(m) = shared/m + marginal  through both points --
+        # for seconds and for each counted component (Sec. 4 model).
         m2 = min(self.probe_block, len(queries))
-        if m2 <= 1:
-            shared, marginal = 0.0, cost_single
-        else:
-            shared = (cost_single - cost_block) * m2 / (m2 - 1)
-            shared = max(0.0, shared)
-            marginal = max(0.0, cost_single - shared)
+
+        def two_point(at_one: float, at_m2: float) -> tuple[float, float]:
+            if m2 <= 1:
+                return 0.0, at_one
+            shared = max(0.0, (at_one - at_m2) * m2 / (m2 - 1))
+            return shared, max(0.0, at_one - shared)
+
+        shared, marginal = two_point(cost_single, cost_block)
+        n = len(queries)
+        shared_pages, marginal_pages = two_point(
+            single.counters.page_reads / n, block.counters.page_reads / n
+        )
+        shared_dists, marginal_dists = two_point(
+            single.counters.total_distance_calculations / n,
+            block.counters.total_distance_calculations / n,
+        )
         return CostFit(
             access=database.access_method.name,
             shared_seconds=shared,
             marginal_seconds=marginal,
+            shared_io_pages=shared_pages,
+            marginal_io_pages=marginal_pages,
+            shared_distances=shared_dists,
+            marginal_distances=marginal_dists,
         )
 
     def plan(

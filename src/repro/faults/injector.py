@@ -179,6 +179,8 @@ class FaultInjector:
         self._injected: dict[str, int] = {}
         self._retries = 0
         self._redispatches = 0
+        self._degraded = 0
+        self._completeness_lost = 0.0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -250,6 +252,25 @@ class FaultInjector:
                 reason=reason,
             )
 
+    def record_degraded(self, completeness: float) -> None:
+        """Count one ticket answered degraded at ``completeness`` < 1.
+
+        Degradation is decided at the scheduler (parent) level, never
+        inside worker processes, so -- unlike injections and retries --
+        it needs no :meth:`stats` key for cross-process merging.  The
+        shortfall ``1 - completeness`` is the error-budget burn the SLO
+        engine's completeness objective accounts against.
+        """
+        self._degraded += 1
+        self._completeness_lost += max(0.0, 1.0 - completeness)
+        observer = self.observer
+        if observer is not None:
+            observer.metrics.inc("fault.degraded_ticket")
+            observer.metrics.histogram(
+                "fault.completeness_burn",
+                tuple(k / 20 for k in range(21)),
+            ).observe(max(0.0, 1.0 - completeness))
+
     # ------------------------------------------------------------------
     # Stats (merging across worker processes, reporting)
     # ------------------------------------------------------------------
@@ -308,5 +329,7 @@ class FaultInjector:
             "injected_total": sum(self._injected.values()),
             "retries": self._retries,
             "redispatches": self._redispatches,
+            "degraded_tickets": self._degraded,
+            "completeness_lost": self._completeness_lost,
             "ticks": self.tick,
         }

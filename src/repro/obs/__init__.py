@@ -39,6 +39,13 @@ Quick start::
                                           # latency histograms
 """
 
+from repro.obs.audit import (
+    CALIBRATION_DRIFT_GAUGE,
+    PREDICTION_ERROR_DISTANCES,
+    PREDICTION_ERROR_IO,
+    PREDICTION_ERROR_SECONDS,
+    PlanAudit,
+)
 from repro.obs.metrics import (
     CountersAdapter,
     HistogramMetric,
@@ -47,6 +54,12 @@ from repro.obs.metrics import (
     stable_floats,
 )
 from repro.obs.observer import Observer, maybe_phase
+from repro.obs.provenance import (
+    QueryCard,
+    ancestry,
+    build_cards,
+    render_card,
+)
 from repro.obs.regression import (
     compare,
     entries_from_bench_file,
@@ -56,6 +69,13 @@ from repro.obs.regression import (
     save_store,
 )
 from repro.obs.report import render_report, summarize_metrics, summarize_trace
+from repro.obs.slo import (
+    SLOObjective,
+    SLOResult,
+    evaluate_slos,
+    load_slo_spec,
+    render_slo,
+)
 from repro.obs.tracing import (
     EVENT_AVOIDANCE_TRY,
     EVENT_BLOCK_FLUSH,
@@ -71,6 +91,7 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CALIBRATION_DRIFT_GAUGE",
     "CountersAdapter",
     "EVENT_AVOIDANCE_TRY",
     "EVENT_BLOCK_FLUSH",
@@ -84,15 +105,28 @@ __all__ = [
     "HistogramMetric",
     "MetricsRegistry",
     "Observer",
+    "PREDICTION_ERROR_DISTANCES",
+    "PREDICTION_ERROR_IO",
+    "PREDICTION_ERROR_SECONDS",
+    "PlanAudit",
+    "QueryCard",
+    "SLOObjective",
+    "SLOResult",
     "Tracer",
+    "ancestry",
     "attach_counters",
+    "build_cards",
     "compare",
     "entries_from_bench_file",
+    "evaluate_slos",
+    "load_slo_spec",
     "load_store",
     "maybe_phase",
     "read_jsonl",
+    "render_card",
     "render_comparison",
     "render_report",
+    "render_slo",
     "run_quick_suite",
     "save_store",
     "stable_floats",

@@ -1,0 +1,250 @@
+"""Plan-vs-actual cost audit: how wrong was the planner, per block.
+
+:class:`QueryPlanner` (Sec. 4 cost model) predicts per-query seconds,
+page reads and distance calculations as ``shared/m + marginal`` curves
+fitted from two probe points.  :class:`PlanAudit` closes the loop:
+around every executed block it reads the database's
+:class:`~repro.costmodel.Counters` delta, derives the *observed*
+per-query components, and emits the observed/predicted ratio of each
+into the ``planner.prediction_error.{io,distances,seconds}`` histograms
+(ratio 1.0 = perfectly calibrated; the bucket grid spans 0.01-100x).
+
+Observed seconds are *modelled* seconds of the observed counters
+(:meth:`~repro.costmodel.CostModel.total_seconds` of the delta), not
+wall-clock -- the same currency the probe fitted -- so the audit is
+deterministic and measures planner calibration, not machine noise.
+
+A running exponentially-weighted seconds-ratio feeds the
+``planner.calibration_drift`` gauge, and :meth:`PlanAudit.calibrated`
+refits the cost curve from the accumulated ``(m, observed)`` samples --
+a least-squares solve of the same two-parameter model, which moves the
+knee point when the workload drifts away from the probe (a uniform
+rescale would not).  :meth:`~repro.service.scheduler.QueryScheduler.replan`
+consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.costmodel import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.planner import CostFit
+
+#: Observed/predicted ratio histograms, one per cost component.
+PREDICTION_ERROR_IO = "planner.prediction_error.io"
+PREDICTION_ERROR_DISTANCES = "planner.prediction_error.distances"
+PREDICTION_ERROR_SECONDS = "planner.prediction_error.seconds"
+#: EWMA of the seconds ratio: 1.0 = calibrated, >1 = plan too cheap.
+CALIBRATION_DRIFT_GAUGE = "planner.calibration_drift"
+
+#: Ratio bucket grid: quarter-decade steps over 0.01x .. 100x.
+RATIO_BOUNDS: tuple[float, ...] = tuple(10 ** (k / 4 - 2) for k in range(17))
+
+#: EWMA smoothing of the calibration drift (weight of the newest block).
+DEFAULT_DRIFT_ALPHA = 0.3
+
+
+class PlanAudit:
+    """Per-block plan-vs-actual comparison against one :class:`CostFit`.
+
+    Usage (the scheduler drives this around every flushed block)::
+
+        audit.begin_block(database.counters)
+        ...  # run the block
+        audit.end_block(database.counters, block_size)
+
+    Parameters
+    ----------
+    fit:
+        The planner's fitted cost curve for the access method in use.
+    cost_model:
+        The database's cost model, used to price observed counters in
+        the same modelled seconds the fit predicts.
+    observer:
+        Destination of the histograms, gauge and ``planner.audit``
+        events; without one the audit still accumulates samples (for
+        :meth:`calibrated`) but emits nothing.
+    """
+
+    def __init__(
+        self,
+        fit: "CostFit",
+        cost_model: Any,
+        observer: Any = None,
+        alpha: float = DEFAULT_DRIFT_ALPHA,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.fit = fit
+        self.cost_model = cost_model
+        self.observer = observer
+        self.alpha = alpha
+        self.blocks_audited = 0
+        #: EWMA observed/predicted ratios per component (None until fed).
+        self.drift_seconds: float | None = None
+        self.drift_io: float | None = None
+        self.drift_distances: float | None = None
+        #: ``(block_size, observed_seconds_per_query)`` refit samples.
+        self.samples: list[tuple[int, float]] = []
+        self._snapshot: Counters | None = None
+
+    # -- the per-block loop --------------------------------------------
+
+    def begin_block(self, counters: Counters) -> None:
+        """Snapshot the cost counters at block entry."""
+        self._snapshot = counters.copy()
+
+    def end_block(self, counters: Counters, block_size: int) -> None:
+        """Compare the block's counter delta against the plan."""
+        if self._snapshot is None or block_size < 1:
+            return
+        delta = counters.diff(self._snapshot)
+        self._snapshot = None
+        m = block_size
+        observed_seconds = self.cost_model.total_seconds(delta) / m
+        observed_pages = delta.page_reads / m
+        observed_distances = delta.total_distance_calculations / m
+        self.blocks_audited += 1
+        self.samples.append((m, observed_seconds))
+        ratio_seconds = _ratio(observed_seconds, self.fit.per_query(m))
+        ratio_pages = _ratio(observed_pages, self.fit.pages_per_query(m))
+        ratio_distances = _ratio(
+            observed_distances, self.fit.distances_per_query(m)
+        )
+        self.drift_seconds = self._ewma(self.drift_seconds, ratio_seconds)
+        self.drift_io = self._ewma(self.drift_io, ratio_pages)
+        self.drift_distances = self._ewma(self.drift_distances, ratio_distances)
+        observer = self.observer
+        if observer is None:
+            return
+        metrics = observer.metrics
+        if ratio_seconds is not None:
+            metrics.histogram(PREDICTION_ERROR_SECONDS, RATIO_BOUNDS).observe(
+                ratio_seconds
+            )
+        if ratio_pages is not None:
+            metrics.histogram(PREDICTION_ERROR_IO, RATIO_BOUNDS).observe(
+                ratio_pages
+            )
+        if ratio_distances is not None:
+            metrics.histogram(PREDICTION_ERROR_DISTANCES, RATIO_BOUNDS).observe(
+                ratio_distances
+            )
+        if self.drift_seconds is not None:
+            metrics.set_gauge(CALIBRATION_DRIFT_GAUGE, self.drift_seconds)
+        observer.event(
+            "planner.audit",
+            block_size=m,
+            observed_seconds_per_query=observed_seconds,
+            predicted_seconds_per_query=self.fit.per_query(m),
+            ratio_seconds=ratio_seconds,
+            ratio_io=ratio_pages,
+            ratio_distances=ratio_distances,
+        )
+
+    def _ewma(self, current: float | None, value: float | None) -> float | None:
+        if value is None:
+            return current
+        if current is None:
+            return value
+        return (1.0 - self.alpha) * current + self.alpha * value
+
+    # -- feedback into the planner -------------------------------------
+
+    def calibrated(self, fit: "CostFit | None" = None) -> "CostFit":
+        """A :class:`CostFit` recalibrated from the observed blocks.
+
+        With samples at two or more distinct block sizes, least-squares
+        refits ``shared/m + marginal`` through every observed
+        ``(m, seconds-per-query)`` point -- the refit can *move the knee
+        point*, which a uniform rescale of the probe fit cannot (both
+        terms scaled alike leave every cost ratio unchanged).  With
+        fewer, the probe fit is scaled by the seconds-drift EWMA (the
+        best single-factor correction available).  The counted
+        component curves are scaled by their own drift EWMAs in either
+        case.  Returns the (possibly unchanged) fit.
+        """
+        from repro.core.planner import CostFit
+
+        base = fit if fit is not None else self.fit
+        io_scale = self.drift_io if self.drift_io is not None else 1.0
+        dist_scale = (
+            self.drift_distances if self.drift_distances is not None else 1.0
+        )
+        components = {
+            "shared_io_pages": base.shared_io_pages * io_scale,
+            "marginal_io_pages": base.marginal_io_pages * io_scale,
+            "shared_distances": base.shared_distances * dist_scale,
+            "marginal_distances": base.marginal_distances * dist_scale,
+        }
+        refit = _least_squares_refit(self.samples)
+        if refit is not None:
+            shared, marginal = refit
+            return CostFit(
+                access=base.access,
+                shared_seconds=shared,
+                marginal_seconds=marginal,
+                **components,
+            )
+        scale = self.drift_seconds if self.drift_seconds is not None else 1.0
+        return CostFit(
+            access=base.access,
+            shared_seconds=base.shared_seconds * scale,
+            marginal_seconds=base.marginal_seconds * scale,
+            **components,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready audit state (folded into benchmark sidecars)."""
+        refit = _least_squares_refit(self.samples)
+        return {
+            "blocks_audited": self.blocks_audited,
+            "calibration_drift": self.drift_seconds,
+            "drift_io": self.drift_io,
+            "drift_distances": self.drift_distances,
+            "refit": (
+                {"shared_seconds": refit[0], "marginal_seconds": refit[1]}
+                if refit is not None
+                else None
+            ),
+            "fit": {
+                "access": self.fit.access,
+                "shared_seconds": self.fit.shared_seconds,
+                "marginal_seconds": self.fit.marginal_seconds,
+            },
+        }
+
+
+def _ratio(observed: float, predicted: float) -> float | None:
+    """Observed/predicted, or ``None`` when the plan predicted ~zero."""
+    if predicted <= 1e-12:
+        return None
+    return observed / predicted
+
+
+def _least_squares_refit(
+    samples: list[tuple[int, float]],
+) -> tuple[float, float] | None:
+    """Least-squares ``(shared, marginal)`` through observed samples.
+
+    Solves ``y = shared * (1/m) + marginal`` over all ``(m, y)`` pairs;
+    needs at least two distinct block sizes (the design matrix is
+    singular otherwise).  Both coefficients are clamped non-negative,
+    preserving the monotone-amortisation shape downstream consumers
+    (knee search) rely on.
+    """
+    if len({m for m, _ in samples}) < 2:
+        return None
+    n = len(samples)
+    sum_x = sum(1.0 / m for m, _ in samples)
+    sum_xx = sum((1.0 / m) ** 2 for m, _ in samples)
+    sum_y = sum(y for _, y in samples)
+    sum_xy = sum(y / m for m, y in samples)
+    det = n * sum_xx - sum_x * sum_x
+    if det <= 1e-18:
+        return None
+    shared = (n * sum_xy - sum_x * sum_y) / det
+    marginal = (sum_y - shared * sum_x) / n
+    return max(0.0, shared), max(0.0, marginal)

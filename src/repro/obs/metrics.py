@@ -89,9 +89,15 @@ class HistogramMetric:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (upper bound of the covering bucket)."""
+        """Estimated q-quantile (upper bound of the covering bucket).
+
+        An empty histogram has no quantiles: returns ``float("nan")``
+        deterministically (rather than an arbitrary bucket bound) so
+        callers can distinguish "no observations" from "observed zero".
+        Report rendering shows such cells as ``-``.
+        """
         if self.count == 0:
-            return 0.0
+            return float("nan")
         rank = q * self.count
         cumulative = 0
         for i, n in enumerate(self.counts):

@@ -54,6 +54,15 @@ class _PhaseTimer:
         self._observer.metrics.observe(f"phase.{self._name}.seconds", elapsed)
         self._span.__exit__(*exc_info)
 
+    @property
+    def span_id(self) -> int | None:
+        """Span id of the live phase, or ``None`` when tracing is off.
+
+        Used to hand a parent span id across process boundaries so
+        worker-side spans can link into the caller's causal tree.
+        """
+        return getattr(self._span, "span_id", None)
+
 
 class Observer:
     """Bundle of a :class:`MetricsRegistry` and a :class:`Tracer`.
@@ -133,5 +142,10 @@ class Observer:
             handle.write(self.metrics.to_prometheus())
 
     def write_trace(self, path: str) -> int:
-        """Write the trace ring buffer as JSONL; returns entry count."""
+        """Write the trace ring buffer as JSONL; returns entry count.
+
+        Paths ending in ``.gz`` (e.g. ``trace.jsonl.gz``) are
+        gzip-compressed; :func:`repro.obs.tracing.read_jsonl` reads
+        them back transparently.
+        """
         return self.tracer.export_jsonl(path)

@@ -1,0 +1,320 @@
+"""Causal per-query provenance: :class:`QueryCard` from trace records.
+
+The tracer (:mod:`repro.obs.tracing`) records what happened; this module
+reconstructs *why*, per query: which pages were read and evaluated for
+it, which the pre-filter pruned, what the triangle-inequality avoidance
+saved, where its wall-time went, and -- on the process backend -- which
+simulated server did each piece of the work.
+
+The reconstruction is purely structural: records are indexed by
+``span_id``, children grouped by ``parent_id``, and every
+``query.drive`` span's subtree is walked.  Worker-process records merge
+into the same tree because their tracers adopt the caller's
+``parallel.block`` span id as ``root_parent_id`` and allocate span ids
+from a disjoint range (see :func:`repro.parallel.executor._worker_block_observer`),
+so a page processed in worker process 2 still walks up to the block that
+caused it.  Queries are joined on the ``query`` attribute stamped on
+``query.admit`` / ``query.drive`` / ``session.first_answer`` records
+(:func:`repro.core.multi_query.query_label`) -- process-stable, so the
+same logical query lands in one card no matter which servers served it.
+
+``repro explain <query-idx>`` renders one card (see
+:mod:`repro.cli`); ``docs/observability.md`` documents the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class PageVisit:
+    """One page evaluated (engine kernel ran) while driving a query."""
+
+    page_id: int
+    engine: str
+    #: Queries of the batch served by this page evaluation.
+    batch: int
+    seconds: float
+    #: Simulated server that processed the page (``None`` in-process).
+    server_id: int | None
+    span_id: int
+
+
+@dataclass(frozen=True)
+class PrunedPage:
+    """One page dropped before the engines while driving a query.
+
+    ``mode`` is ``"exact"`` (sketch bound proved the page empty for the
+    whole batch; counters identical, kernels skipped) or ``"approx"``
+    (bounded-recall skip before the page was even read).
+    """
+
+    page_id: int
+    mode: str
+    server_id: int | None
+
+
+@dataclass
+class QueryCard:
+    """Everything the trace knows about one logical query.
+
+    One card aggregates every ``query.drive`` span carrying the same
+    ``query`` label -- on the parallel backends that is one drive per
+    server, all within the same block.
+    """
+
+    query: str
+    kind: str | None = None
+    admissions: int = 0
+    drives: int = 0
+    drive_seconds: float = 0.0
+    pages: list[PageVisit] = field(default_factory=list)
+    pruned: list[PrunedPage] = field(default_factory=list)
+    avoidance_tries: int = 0
+    avoided_calculations: int = 0
+    computed_calculations: int = 0
+    #: ``{"seconds", "pages", "early"}`` of the first streamed answer.
+    first_answer: dict[str, Any] | None = None
+    #: Sorted simulated-server ids that did work for this query.
+    servers: list[int] = field(default_factory=list)
+    #: ``ts`` of the first admission (buffer-relative ordering only).
+    admitted_ts: float | None = None
+
+    @property
+    def engine_seconds(self) -> float:
+        """Wall-time spent in page-engine kernels for this query."""
+        return sum(visit.seconds for visit in self.pages)
+
+    @property
+    def avoidance_rate(self) -> float:
+        """Fraction of candidate distances the avoidance lemmas saved."""
+        total = self.avoided_calculations + self.computed_calculations
+        return self.avoided_calculations / total if total else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """Flat JSON-ready form (the ``repro explain --json`` payload)."""
+        return {
+            "query": self.query,
+            "kind": self.kind,
+            "admissions": self.admissions,
+            "drives": self.drives,
+            "drive_seconds": self.drive_seconds,
+            "engine_seconds": self.engine_seconds,
+            "pages_processed": len(self.pages),
+            "pages_pruned": len(self.pruned),
+            "avoidance_tries": self.avoidance_tries,
+            "avoided_calculations": self.avoided_calculations,
+            "computed_calculations": self.computed_calculations,
+            "avoidance_rate": self.avoidance_rate,
+            "first_answer": self.first_answer,
+            "servers": self.servers,
+        }
+
+
+def index_spans(
+    records: Sequence[dict[str, Any]],
+) -> tuple[dict[int, dict[str, Any]], dict[int, list[dict[str, Any]]]]:
+    """Index trace records: ``span_id -> span`` and ``parent -> children``.
+
+    Children include both spans and events; records without a
+    ``parent_id`` (or whose parent was evicted from the ring buffer)
+    simply root their own subtree.
+    """
+    by_id: dict[int, dict[str, Any]] = {}
+    children: dict[int, list[dict[str, Any]]] = {}
+    for record in records:
+        span_id = record.get("span_id")
+        if span_id is not None:
+            by_id[span_id] = record
+        parent_id = record.get("parent_id")
+        if parent_id is not None:
+            children.setdefault(parent_id, []).append(record)
+    return by_id, children
+
+
+def ancestry(
+    records: Sequence[dict[str, Any]], span_id: int
+) -> list[dict[str, Any]]:
+    """The parent chain of one span, nearest first (for tree checks).
+
+    Follows ``parent_id`` links through the merged record list --
+    including cross-process links, where a worker span's parent lives in
+    another process's id range -- until a root (or an evicted parent) is
+    reached.
+    """
+    by_id, _ = index_spans(records)
+    chain: list[dict[str, Any]] = []
+    seen: set[int] = set()
+    current = by_id.get(span_id)
+    while current is not None:
+        parent_id = current.get("parent_id")
+        if parent_id is None or parent_id in seen:
+            break
+        seen.add(parent_id)
+        parent = by_id.get(parent_id)
+        if parent is None:
+            break
+        chain.append(parent)
+        current = parent
+    return chain
+
+
+def _subtree(
+    root: dict[str, Any], children: dict[int, list[dict[str, Any]]]
+) -> Iterable[dict[str, Any]]:
+    """Every record (spans and events) beneath one span, root excluded."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        span_id = node.get("span_id")
+        if span_id is None:
+            continue
+        for child in children.get(span_id, ()):
+            yield child
+            stack.append(child)
+
+
+def build_cards(records: Sequence[dict[str, Any]]) -> dict[str, QueryCard]:
+    """Reconstruct one :class:`QueryCard` per logical query.
+
+    Cards are keyed and ordered by the ``query`` label, first admission
+    first.  Records without a ``query`` attribute anywhere in their
+    ancestry (e.g. warm-up page reads, which Definition 4 charges to the
+    session rather than a single driver) are not attributed to any card.
+    """
+    _, children = index_spans(records)
+    cards: dict[str, QueryCard] = {}
+
+    def card(label: str) -> QueryCard:
+        existing = cards.get(label)
+        if existing is None:
+            existing = cards[label] = QueryCard(query=label)
+        return existing
+
+    for record in records:
+        name = record.get("name")
+        attrs = record.get("attrs", {})
+        label = attrs.get("query")
+        if label is None:
+            continue
+        if name == "query.admit":
+            c = card(label)
+            c.admissions += 1
+            c.kind = attrs.get("kind", c.kind)
+            ts = record.get("ts")
+            if c.admitted_ts is None and ts is not None:
+                c.admitted_ts = ts
+        elif name == "session.first_answer":
+            c = card(label)
+            if c.first_answer is None:
+                c.first_answer = {
+                    "seconds": attrs.get("seconds"),
+                    "pages": attrs.get("pages"),
+                    "early": attrs.get("early"),
+                }
+        elif name == "query.drive" and record.get("kind") == "span":
+            c = card(label)
+            c.drives += 1
+            c.drive_seconds += record.get("dur_s", 0.0)
+            server = record.get("server_id")
+            if server is not None and server not in c.servers:
+                c.servers.append(server)
+            for node in _subtree(record, children):
+                _fold(c, node)
+
+    for c in cards.values():
+        c.servers.sort()
+    return dict(
+        sorted(
+            cards.items(),
+            key=lambda item: (
+                item[1].admitted_ts if item[1].admitted_ts is not None else 0.0,
+                item[0],
+            ),
+        )
+    )
+
+
+def _fold(card: QueryCard, node: dict[str, Any]) -> None:
+    """Fold one drive-subtree record into its query's card."""
+    name = node.get("name")
+    attrs = node.get("attrs", {})
+    server = node.get("server_id")
+    if name == "page.process" and node.get("kind") == "span":
+        card.pages.append(
+            PageVisit(
+                page_id=attrs.get("page_id", -1),
+                engine=attrs.get("engine", "?"),
+                batch=attrs.get("batch", 0),
+                seconds=node.get("dur_s", 0.0),
+                server_id=server,
+                span_id=node["span_id"],
+            )
+        )
+    elif name == "prefilter.prune":
+        card.pruned.append(
+            PrunedPage(
+                page_id=attrs.get("page_id", -1), mode="exact", server_id=server
+            )
+        )
+    elif name == "prefilter.skip":
+        card.pruned.append(
+            PrunedPage(
+                page_id=attrs.get("page_id", -1), mode="approx", server_id=server
+            )
+        )
+    elif name == "avoidance.try":
+        card.avoidance_tries += attrs.get("tries", 0)
+        card.avoided_calculations += attrs.get("avoided", 0)
+        card.computed_calculations += attrs.get("computed", 0)
+
+
+def render_card(card: QueryCard) -> str:
+    """Human-readable causal card (the ``repro explain`` output)."""
+    lines = [f"query {card.query}"]
+    kind = card.kind if card.kind is not None else "?"
+    lines.append(
+        f"  kind={kind}  admissions={card.admissions}  drives={card.drives}"
+    )
+    where = (
+        "servers " + ", ".join(str(s) for s in card.servers)
+        if card.servers
+        else "in-process"
+    )
+    lines.append(
+        f"  wall: drive {card.drive_seconds * 1e3:.3f} ms"
+        f"  (engine kernels {card.engine_seconds * 1e3:.3f} ms)  on {where}"
+    )
+    if card.first_answer is not None:
+        first = card.first_answer
+        seconds = first.get("seconds")
+        ttfa = f"{seconds * 1e3:.3f} ms" if seconds is not None else "?"
+        lines.append(
+            f"  first answer: after {ttfa}, {first.get('pages')} pages"
+            f" (early={first.get('early')})"
+        )
+    lines.append(
+        f"  pages: {len(card.pages)} evaluated, {len(card.pruned)} pruned"
+    )
+    for visit in card.pages:
+        origin = (
+            f" [server {visit.server_id}]" if visit.server_id is not None else ""
+        )
+        lines.append(
+            f"    page {visit.page_id}: engine={visit.engine}"
+            f" batch={visit.batch} {visit.seconds * 1e6:.1f} us{origin}"
+        )
+    for pruned in card.pruned:
+        origin = (
+            f" [server {pruned.server_id}]" if pruned.server_id is not None else ""
+        )
+        lines.append(f"    page {pruned.page_id}: pruned ({pruned.mode}){origin}")
+    lines.append(
+        f"  avoidance: {card.avoidance_tries} tries,"
+        f" {card.avoided_calculations} avoided /"
+        f" {card.computed_calculations} computed"
+        f" ({card.avoidance_rate:.1%} saved)"
+    )
+    return "\n".join(lines)

@@ -15,10 +15,15 @@ calculations proven unnecessary by Lemmas 1/2 (Sec. 5.2).
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable
 
 
 def _fmt_seconds(value: float) -> str:
+    # Empty-histogram quantiles are NaN (see HistogramMetric.quantile);
+    # render the cell as "-" rather than a nonsense duration.
+    if isinstance(value, float) and math.isnan(value):
+        return f"{'-':>10}"
     if value >= 1.0:
         return f"{value:8.3f} s"
     if value >= 1e-3:
@@ -27,6 +32,8 @@ def _fmt_seconds(value: float) -> str:
 
 
 def _fmt_number(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return f"{'-':>10}"
     return f"{value:10.2f}"
 
 
@@ -74,8 +81,15 @@ def summarize_metrics(snapshot: dict[str, Any]) -> str:
                 label = label[len("phase."):-len(".seconds")]
             # Histograms whose name does not end in ".seconds" hold
             # plain quantities (batch occupancy, queue waits in ticks),
-            # not latencies.
-            fmt = _fmt_seconds if name.endswith(".seconds") else _fmt_number
+            # not latencies.  planner.prediction_error.seconds is a
+            # ratio histogram despite its suffix (observed/predicted
+            # seconds -- dimensionless).
+            fmt = (
+                _fmt_seconds
+                if name.endswith(".seconds")
+                and not name.startswith("planner.prediction_error.")
+                else _fmt_number
+            )
             lines.append(
                 f"  {label:<28}{h['count']:>8}"
                 f"{fmt(h['sum']):>12}{fmt(h['mean']):>12}"

@@ -11,19 +11,32 @@ A :class:`Tracer` records two kinds of entries:
 
 Entries live in a bounded in-memory ring buffer (oldest entries are
 dropped once ``capacity`` is reached; drops are counted, never silent)
-and export as JSON Lines, one entry per line.  When the tracer is
-disabled every entry point returns immediately -- ``event`` is a single
-attribute check, ``span`` hands out a shared no-op context manager --
-so instrumented code paths stay cheap even when an observer is attached
-purely for metrics.
+and export as JSON Lines, one entry per line (gzip-compressed when the
+path ends in ``.gz``).  When the tracer is disabled every entry point
+returns immediately -- ``event`` is a single attribute check, ``span``
+hands out a shared no-op context manager -- so instrumented code paths
+stay cheap even when an observer is attached purely for metrics.
+
+Cross-process causality: a tracer can carry an explicit *trace
+context* -- ``trace_id`` (stamped on every record), ``server_id``
+(which simulated server produced the record) and ``root_parent_id``
+(the parent span id, from another process, that adopts this tracer's
+top-level spans and events).  ``id_base`` offsets the span-id sequence
+so ids from different processes never collide, and :meth:`Tracer.absorb`
+folds a worker's drained records back into the parent's buffer.  The
+merged JSONL stream then reconstructs as one causal tree per query even
+when the pages were processed by worker processes (see
+:mod:`repro.obs.provenance`).
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import time
+import uuid
 from collections import deque
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 EVENT_QUERY_ADMIT = "query.admit"
 EVENT_PAGE_PROCESS = "page.process"
@@ -73,7 +86,7 @@ class _Span:
         self.span_id = tracer._next_id
         tracer._next_id += 1
         stack = tracer._stack
-        self.parent_id = stack[-1] if stack else None
+        self.parent_id = stack[-1] if stack else tracer.root_parent_id
         stack.append(self.span_id)
         self._start = tracer._clock()
         return self
@@ -104,6 +117,10 @@ class Tracer:
         capacity: int = DEFAULT_TRACE_CAPACITY,
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        trace_id: str | None = None,
+        server_id: int | None = None,
+        id_base: int = 0,
+        root_parent_id: int | None = None,
     ):
         if capacity < 1:
             raise ValueError("trace capacity must be positive")
@@ -113,7 +130,16 @@ class Tracer:
         self._epoch = clock()
         self._events: deque[dict[str, Any]] = deque()
         self._stack: list[int] = []
-        self._next_id = 1
+        self._next_id = id_base + 1
+        if trace_id is None and enabled:
+            # Every enabled tracer names its trace, so merged multi-
+            # process JSONL streams always carry an explicit join key.
+            trace_id = f"trace-{uuid.uuid4().hex[:16]}"
+        #: Stamped on every locally produced record when set.
+        self.trace_id = trace_id
+        self.server_id = server_id
+        #: Foreign (cross-process) span id adopting top-level entries.
+        self.root_parent_id = root_parent_id
         self.n_emitted = 0
         self.n_dropped = 0
 
@@ -130,6 +156,8 @@ class Tracer:
         }
         if self._stack:
             record["parent_id"] = self._stack[-1]
+        elif self.root_parent_id is not None:
+            record["parent_id"] = self.root_parent_id
         if attrs:
             record["attrs"] = attrs
         self._record(record)
@@ -141,11 +169,30 @@ class Tracer:
         return _Span(self, name, attrs)
 
     def _record(self, record: dict[str, Any]) -> None:
+        if self.trace_id is not None and "trace_id" not in record:
+            record["trace_id"] = self.trace_id
+        if self.server_id is not None and "server_id" not in record:
+            record["server_id"] = self.server_id
         if len(self._events) >= self.capacity:
             self._events.popleft()
             self.n_dropped += 1
         self._events.append(record)
         self.n_emitted += 1
+
+    def absorb(self, records: Iterable[dict[str, Any]]) -> int:
+        """Fold foreign (worker-process) records into this buffer.
+
+        The records keep their own ``trace_id`` / ``server_id`` /
+        ``span_id`` stamps -- worker tracers are constructed with a
+        disjoint ``id_base``, so merged ids never collide -- and count
+        against this tracer's capacity and emit/drop statistics.
+        Returns the number of records absorbed.
+        """
+        n = 0
+        for record in records:
+            self._record(dict(record))
+            n += 1
+        return n
 
     # -- access / export -----------------------------------------------
 
@@ -167,16 +214,30 @@ class Tracer:
         )
 
     def export_jsonl(self, path: str) -> int:
-        """Write the buffer to ``path`` as JSONL; returns entry count."""
-        with open(path, "w") as handle:
-            handle.write(self.to_jsonl())
+        """Write the buffer to ``path`` as JSONL; returns entry count.
+
+        Paths ending in ``.gz`` are gzip-compressed transparently.
+        """
+        if path.endswith(".gz"):
+            with gzip.open(path, "wt", encoding="utf-8") as handle:
+                handle.write(self.to_jsonl())
+        else:
+            with open(path, "w") as handle:
+                handle.write(self.to_jsonl())
         return len(self._events)
 
 
 def read_jsonl(path: str) -> list[dict[str, Any]]:
-    """Parse a trace file written by :meth:`Tracer.export_jsonl`."""
+    """Parse a trace file written by :meth:`Tracer.export_jsonl`.
+
+    Transparently decompresses paths ending in ``.gz``.
+    """
     records = []
-    with open(path) as handle:
+    if path.endswith(".gz"):
+        handle = gzip.open(path, "rt", encoding="utf-8")
+    else:
+        handle = open(path)
+    with handle:
         for line in handle:
             line = line.strip()
             if line:

@@ -75,6 +75,8 @@ from repro.costmodel import Counters
 from repro.data import Dataset, GenericDataset, VectorDataset, as_dataset
 from repro.faults import FaultError, FaultInjector, RetryPolicy
 from repro.metric.distances import DistanceFunction
+from repro.obs.observer import Observer, maybe_phase
+from repro.obs.tracing import Tracer
 from repro.parallel.decluster import DECLUSTER_STRATEGIES
 from repro.service.session import QuerySession
 from repro.storage.page import DEFAULT_BLOCK_SIZE
@@ -353,6 +355,43 @@ def _block_keys(db_indices: list[int] | None, n: int) -> list[Any]:
     return [_block_key(db_indices, position) for position in range(n)]
 
 
+#: Span-id stride separating worker tracers: worker ``s`` allocates ids
+#: from ``(s + 1) * _WORKER_ID_BASE``, so merged records never collide
+#: with each other or with the parent tracer's ids.
+_WORKER_ID_BASE = 1_000_000_000
+
+
+def _worker_block_observer(
+    state: dict[str, Any], setup: dict[str, Any], trace: dict[str, Any] | None
+) -> Observer | None:
+    """This worker's observer, bound to one block's trace context.
+
+    Built lazily on the first traced block (and cached with the server
+    state, so the instrumented database persists across blocks); with no
+    trace context the worker stays completely uninstrumented.  The
+    tracer carries the caller's ``trace_id``, this server's id and a
+    disjoint span-id range, and adopts the caller's ``parent_span_id``
+    as the parent of its top-level spans -- the cross-process causal
+    link the provenance builder follows.
+    """
+    if trace is None:
+        return None
+    observer = state.get("observer")
+    if observer is None:
+        server_id = setup["server_id"]
+        tracer = Tracer(
+            enabled=True,
+            server_id=server_id,
+            id_base=(server_id + 1) * _WORKER_ID_BASE,
+        )
+        observer = Observer(tracer=tracer)
+        state["observer"] = observer
+        state["database"].attach_observer(observer)
+    observer.tracer.trace_id = trace.get("trace_id")
+    observer.tracer.root_parent_id = trace.get("parent_span_id")
+    return observer
+
+
 def _worker_phase1(
     setup: dict[str, Any], payload: dict[str, Any]
 ) -> dict[int, float]:
@@ -366,26 +405,28 @@ def _worker_phase1(
     """
     state = _worker_server(setup)
     database = state["database"]
+    observer = _worker_block_observer(state, setup, payload.get("trace"))
     injector = database.fault_injector
     start = time.perf_counter()
     snapshot = database.counters.copy()
     keys = _block_keys(payload["db_indices"], len(payload["objs"]))
-    if injector is None:
-        disk_state = None
-        stats_before = None
-        session, bounds = _admit_block(database, payload, keys)
-    else:
-        disk_state = database.disk.snapshot_state()
-        stats_before = injector.stats()
-        session, bounds = _recover_block(
-            database,
-            injector,
-            setup["server_id"],
-            setup["n_servers"],
-            snapshot,
-            disk_state,
-            lambda: _admit_block(database, payload, keys),
-        )
+    with maybe_phase(observer, "worker.phase1", server=setup["server_id"]):
+        if injector is None:
+            disk_state = None
+            stats_before = None
+            session, bounds = _admit_block(database, payload, keys)
+        else:
+            disk_state = database.disk.snapshot_state()
+            stats_before = injector.stats()
+            session, bounds = _recover_block(
+                database,
+                injector,
+                setup["server_id"],
+                setup["n_servers"],
+                snapshot,
+                disk_state,
+                lambda: _admit_block(database, payload, keys),
+            )
     state["block"] = {
         "session": session,
         "payload": payload,
@@ -393,6 +434,7 @@ def _worker_phase1(
         "snapshot": snapshot,
         "disk_state": disk_state,
         "stats_before": stats_before,
+        "observer": observer,
         "wall": time.perf_counter() - start,
     }
     return bounds
@@ -401,15 +443,22 @@ def _worker_phase1(
 def _worker_phase2(
     setup: dict[str, Any], foreign_bounds: dict[int, float]
 ) -> tuple[
-    list[list[tuple[int, float]]], dict[str, int], float, dict[str, int] | None
+    list[list[tuple[int, float]]],
+    dict[str, int],
+    float,
+    dict[str, int] | None,
+    list[dict[str, Any]] | None,
 ]:
     """Apply broadcast bounds, run the block, return global answers.
 
-    Returns ``(answers, counters, wall_seconds, fault_stats)`` where
-    ``answers`` maps each query position to ``(global_index, distance)``
-    pairs, ``counters`` / ``wall_seconds`` cover both phases of this
-    block, and ``fault_stats`` is the worker injector's per-block stats
-    delta (``None`` without a fault plan) for the parent to absorb.
+    Returns ``(answers, counters, wall_seconds, fault_stats, trace)``
+    where ``answers`` maps each query position to ``(global_index,
+    distance)`` pairs, ``counters`` / ``wall_seconds`` cover both phases
+    of this block, ``fault_stats`` is the worker injector's per-block
+    stats delta (``None`` without a fault plan) for the parent to
+    absorb, and ``trace`` is this worker's drained span/event records
+    (``None`` without a trace context) for the parent tracer to absorb
+    into the shared causal tree.
 
     With a fault plan armed, a crash mid-run is recovered by rolling the
     partition back to the *block entry* state and replaying phase 1 plus
@@ -419,6 +468,7 @@ def _worker_phase2(
     state = _WORKER_STATE[(setup["shm_name"], setup["server_id"])]
     block = state["block"]
     database = state["database"]
+    observer = block["observer"]
     injector = database.fault_injector
     payload = block["payload"]
     keys = block["keys"]
@@ -434,28 +484,29 @@ def _worker_phase2(
             db_indices=payload["db_indices"],
         )
 
-    if injector is None:
-        results = run(block["session"])
-        fault_stats: dict[str, int] | None = None
-    else:
+    with maybe_phase(observer, "worker.phase2", server=setup["server_id"]):
+        if injector is None:
+            results = run(block["session"])
+            fault_stats: dict[str, int] | None = None
+        else:
 
-        def replay() -> list[list[Answer]]:
-            session, _ = _admit_block(database, payload, keys)
-            return run(session)
+            def replay() -> list[list[Answer]]:
+                session, _ = _admit_block(database, payload, keys)
+                return run(session)
 
-        results = _recover_block(
-            database,
-            injector,
-            setup["server_id"],
-            setup["n_servers"],
-            block["snapshot"],
-            block["disk_state"],
-            lambda: run(block["session"]),
-            replay,
-        )
-        fault_stats = FaultInjector.stats_delta(
-            injector.stats(), block["stats_before"]
-        )
+            results = _recover_block(
+                database,
+                injector,
+                setup["server_id"],
+                setup["n_servers"],
+                block["snapshot"],
+                block["disk_state"],
+                lambda: run(block["session"]),
+                replay,
+            )
+            fault_stats = FaultInjector.stats_delta(
+                injector.stats(), block["stats_before"]
+            )
     wall = block["wall"] + (time.perf_counter() - start)
     counters = database.counters.diff(block["snapshot"]).as_dict()
     global_indices = setup["global_indices"]
@@ -463,8 +514,12 @@ def _worker_phase2(
         [(int(global_indices[a.index]), a.distance) for a in result]
         for result in results
     ]
+    trace_records: list[dict[str, Any]] | None = None
+    if observer is not None:
+        trace_records = observer.tracer.records()
+        observer.tracer.clear()
     state["block"] = None
-    return answers, counters, wall, fault_stats
+    return answers, counters, wall, fault_stats, trace_records
 
 
 class ParallelDatabase:
@@ -542,6 +597,15 @@ class ParallelDatabase:
             for local, global_index in enumerate(server.global_indices):
                 self._home_server[int(global_index)] = server.server_id
                 self._local_index[int(global_index)] = local
+        if observer is not None:
+            for server in self.servers:
+                # Attach directly rather than via ``attach_observer``:
+                # per-server cost/buffer collectors would collide in the
+                # shared registry, but the session/engine/access-method
+                # instrumentation (spans, events) nests under the shared
+                # tracer so every server's page work lands in one tree.
+                server.database.observer = observer
+                server.database.access_method.observer = observer
         self.fault_injector: FaultInjector | None = None
         if fault_plan is not None:
             self.fault_injector = FaultInjector(
@@ -688,29 +752,46 @@ class ParallelDatabase:
                     else None
                 ),
             )
-            if backend == "process":
-                outcome = self._run_block_process(
-                    block, use_avoidance, warm_start, share_home_bounds
-                )
-                for s, (answers, counter_dict, wall, fault_stats) in enumerate(
-                    outcome
-                ):
-                    per_server_answers[s].extend(
-                        [Answer(index, distance) for index, distance in result]
-                        for result in answers
+            with maybe_phase(
+                self.observer,
+                "parallel.block",
+                backend=backend,
+                size=len(block.objs),
+                offset=start,
+            ) as block_phase:
+                if backend == "process":
+                    outcome = self._run_block_process(
+                        block,
+                        use_avoidance,
+                        warm_start,
+                        share_home_bounds,
+                        self._trace_context(block_phase),
                     )
-                    totals[s].add(Counters(**counter_dict))
-                    walls[s] += wall
-                    if fault_stats and self.fault_injector is not None:
-                        self.fault_injector.absorb(fault_stats)
-            else:
-                block_results = self._run_block(
-                    block, use_avoidance, warm_start, share_home_bounds
-                )
-                for s, local in enumerate(block_results):
-                    per_server_answers[s].extend(
-                        self.servers[s].to_global(result) for result in local
+                    for s, (
+                        answers,
+                        counter_dict,
+                        wall,
+                        fault_stats,
+                        trace_records,
+                    ) in enumerate(outcome):
+                        per_server_answers[s].extend(
+                            [Answer(index, distance) for index, distance in result]
+                            for result in answers
+                        )
+                        totals[s].add(Counters(**counter_dict))
+                        walls[s] += wall
+                        if fault_stats and self.fault_injector is not None:
+                            self.fault_injector.absorb(fault_stats)
+                        if trace_records and self.observer is not None:
+                            self.observer.tracer.absorb(trace_records)
+                else:
+                    block_results = self._run_block(
+                        block, use_avoidance, warm_start, share_home_bounds
                     )
+                    for s, local in enumerate(block_results):
+                        per_server_answers[s].extend(
+                            self.servers[s].to_global(result) for result in local
+                        )
 
         if backend == "process":
             per_server_runs = [
@@ -771,18 +852,36 @@ class ParallelDatabase:
         if run.wall_seconds is not None:
             observer.metrics.set_gauge("parallel.wall_skew", run.wall_skew)
 
+    def _trace_context(self, block_phase: Any) -> dict[str, Any] | None:
+        """Trace context shipped to workers for one block, or ``None``.
+
+        Only produced when the attached observer is actively tracing:
+        carries the parent's ``trace_id`` and the ``parallel.block``
+        span id, which worker tracers adopt as the parent of their
+        top-level spans (see :func:`_worker_block_observer`).
+        """
+        observer = self.observer
+        if observer is None or not observer.tracer.enabled:
+            return None
+        return {
+            "trace_id": observer.tracer.trace_id,
+            "parent_span_id": getattr(block_phase, "span_id", None),
+        }
+
     def _run_block_process(
         self,
         block: _Block,
         use_avoidance: bool,
         warm_start: bool,
         share_home_bounds: bool,
+        trace_context: dict[str, Any] | None = None,
     ) -> list[
         tuple[
             list[list[tuple[int, float]]],
             dict[str, int],
             float,
             dict[str, int] | None,
+            list[dict[str, Any]] | None,
         ]
     ]:
         """One block on the process backend (true multi-core execution).
@@ -802,6 +901,7 @@ class ParallelDatabase:
             "seed_radius": block.seed_radius,
             "use_avoidance": use_avoidance,
             "warm_start": warm_start,
+            "trace": trace_context,
         }
         phase1 = [
             pool.submit(

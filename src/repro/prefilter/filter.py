@@ -264,6 +264,9 @@ class DriveFilter:
             stats.pages_skipped += 1
             if self.observer is not None:
                 self.observer.metrics.inc(PAGES_PRUNED_METRIC)
+                self.observer.event(
+                    "prefilter.skip", page_id=page.page_id, bound=bound
+                )
         return skip
 
     def provably_empty(self, batch: Sequence[PendingQuery], page: Page) -> bool:
@@ -296,6 +299,9 @@ class DriveFilter:
         stats.candidate_evaluations_avoided += int(page.indices.size) * len(batch)
         if self.observer is not None:
             self.observer.metrics.inc(PAGES_PRUNED_METRIC)
+            self.observer.event(
+                "prefilter.prune", page_id=page.page_id, batch=len(batch)
+            )
         return True
 
     def finish(self) -> None:

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Hashable, Sequence
 from repro.core.answers import Answer
 from repro.core.types import QueryType
 from repro.faults.errors import FaultError
+from repro.obs.audit import PlanAudit
 from repro.service.session import (
     DegradedAnswerEvent,
     QueryCompleted,
@@ -58,6 +59,10 @@ ORDER_AFFINITY = "affinity"
 #: block size whose predicted per-query cost is within this fraction of
 #: the cost at the maximum block size.
 DEFAULT_KNEE_TOLERANCE = 0.1
+
+#: Bucket bounds of the ``service.completeness`` histogram (a fraction
+#: in [0, 1], not a latency; the SLO engine reads its buckets).
+COMPLETENESS_BOUNDS: tuple[float, ...] = tuple(k / 20 for k in range(21))
 
 
 def knee_block_size(
@@ -184,6 +189,9 @@ class QueryScheduler:
         self._serial = 0
         self._n_flushed_blocks = 0
         self._n_degraded_sessions = 0
+        #: Plan-vs-actual audit, armed by :meth:`replan` when cost fits
+        #: are supplied (see :mod:`repro.obs.audit`).
+        self.audit: PlanAudit | None = None
         if self.observer is not None:
             # Publish the gauge up front so a fault-free serving episode
             # still reports "0 degraded sessions" rather than nothing.
@@ -211,15 +219,29 @@ class QueryScheduler:
         fit = own[0] if own else min(
             fits, key=lambda f: f.per_query(self.max_block)
         )
+        if self.audit is not None and self.audit.blocks_audited:
+            # Consume the audit's calibration feedback: the refit (or
+            # drift-scaled) curve reflects what observed blocks actually
+            # cost, so the knee lands where the *measured* amortisation
+            # flattens, not where the stale probe said it would.
+            fit = self.audit.calibrated(fit)
         self.block_target = knee_block_size(
             fit, self.max_block, self.knee_tolerance
         )
         self.recommended_access = recommend_access(fits, self.block_target)
+        cost_model = getattr(self.database, "cost_model", None)
+        if self.audit is None and cost_model is not None:
+            self.audit = PlanAudit(fit, cost_model, self.observer)
+        elif self.audit is not None:
+            self.audit.fit = fit
         if self.observer is not None:
             self.observer.event(
                 "service.replan",
                 block_target=self.block_target,
                 recommended_access=self.recommended_access,
+                calibration_drift=(
+                    self.audit.drift_seconds if self.audit is not None else None
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -261,7 +283,10 @@ class QueryScheduler:
         self._queue.append(ticket)
         if self.observer is not None:
             self.observer.event(
-                "service.submit", client=str(client_id), tick=self.tick
+                "service.submit",
+                client=str(client_id),
+                tick=self.tick,
+                key=str(ticket.key),
             )
             self.observer.metrics.set_gauge(
                 "service.queue_depth", float(len(self._queue))
@@ -378,6 +403,9 @@ class QueryScheduler:
             observer.metrics.set_gauge(
                 "service.queue_depth", float(len(self._queue))
             )
+        audit = self.audit
+        if audit is not None:
+            audit.begin_block(self.database.counters)
         degraded_events: dict[Hashable, DegradedAnswerEvent] = {}
         degraded_reason: str | None = None
         for position, ticket in enumerate(batch):
@@ -410,6 +438,7 @@ class QueryScheduler:
             ticket.completed_tick = self.tick
             ticket.batch_size = len(batch)
             if observer is not None:
+                observer.metrics.inc("service.tickets.completed")
                 observer.metrics.observe(
                     "service.client_latency.seconds",
                     time.perf_counter() - ticket.submitted_at,
@@ -420,6 +449,11 @@ class QueryScheduler:
                 )
         if degraded_reason is not None:
             self._degrade_batch(batch, degraded_events, degraded_reason)
+        elif audit is not None:
+            # Degraded blocks are excluded: their counter delta covers
+            # only the work done before the fault, which would read as
+            # a spurious "plan too expensive" signal.
+            audit.end_block(self.database.counters, len(batch))
         for ticket in batch:
             session.retire(ticket.key)
 
@@ -432,6 +466,7 @@ class QueryScheduler:
         """Complete the unfinished tickets of a faulted block, degraded."""
         session = self.session
         observer = self.observer
+        injector = getattr(self.database, "fault_injector", None)
         self._n_degraded_sessions += 1
         n_degraded_tickets = 0
         for ticket in batch:
@@ -446,6 +481,16 @@ class QueryScheduler:
             ticket.completed_tick = self.tick
             ticket.batch_size = len(batch)
             n_degraded_tickets += 1
+            if injector is not None:
+                # Degraded tickets burn the completeness error budget
+                # (see the SLO engine); record the shortfall with the
+                # fault accounting it stems from.
+                injector.record_degraded(event.completeness)
+            if observer is not None:
+                observer.metrics.inc("service.tickets.degraded")
+                observer.metrics.histogram(
+                    "service.completeness", COMPLETENESS_BOUNDS
+                ).observe(event.completeness)
         if observer is not None:
             observer.event(
                 "service.degraded_block",

@@ -37,7 +37,11 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterator, Sequence
 
 from repro.core.answers import Answer
-from repro.core.multi_query import MultiQueryProcessor, default_query_key
+from repro.core.multi_query import (
+    MultiQueryProcessor,
+    default_query_key,
+    query_label,
+)
 from repro.core.types import QueryType
 from repro.faults.errors import FaultError
 from repro.obs.observer import maybe_phase
@@ -328,7 +332,11 @@ class QuerySession:
         if not driver.complete:
             try:
                 with maybe_phase(
-                    observer, "query.drive", slot=driver.slot, others=len(others)
+                    observer,
+                    "query.drive",
+                    slot=driver.slot,
+                    others=len(others),
+                    query=query_label(key),
                 ):
                     for lower_bound in processor.drive_pages(driver, others):
                         # The page about to be processed -- and every
@@ -344,7 +352,7 @@ class QuerySession:
                                     break
                                 if emitted == 0 and observer is not None:
                                     self._first_answer(
-                                        observer, started, pages, early=True
+                                        observer, started, pages, key, early=True
                                     )
                                 yield AnswerEvent(
                                     key, answer, emitted, pages, True
@@ -358,17 +366,24 @@ class QuerySession:
                 return
         final = driver.answers.materialize()
         if emitted == 0 and final and observer is not None:
-            self._first_answer(observer, started, pages, early=False)
+            self._first_answer(observer, started, pages, key, early=False)
         for rank in range(emitted, len(final)):
             yield AnswerEvent(key, final[rank], rank, pages, False)
         yield QueryCompleted(key, tuple(final), pages)
 
     @staticmethod
     def _first_answer(
-        observer: Any, started: float, pages: int, early: bool
+        observer: Any, started: float, pages: int, key: Hashable, early: bool
     ) -> None:
-        observer.metrics.observe(TTFA_METRIC, time.perf_counter() - started)
-        observer.event("session.first_answer", pages=pages, early=early)
+        seconds = time.perf_counter() - started
+        observer.metrics.observe(TTFA_METRIC, seconds)
+        observer.event(
+            "session.first_answer",
+            pages=pages,
+            early=early,
+            seconds=seconds,
+            query=query_label(key),
+        )
 
     def _degraded_events(
         self, keys: Sequence[Hashable], confirmed_driver: int, fault: FaultError

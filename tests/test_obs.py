@@ -98,6 +98,40 @@ class TestTracer:
         )
         assert {r["name"] for r in parsed} == {"block.flush", "query.admit"}
 
+    def test_gzip_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("block.flush", size=3):
+            tracer.event("query.admit", slot=0, kind="range")
+        path = tmp_path / "trace.jsonl.gz"
+        assert tracer.export_jsonl(str(path)) == 2
+        # Actually gzip-compressed on disk (magic bytes), transparently
+        # parsed back by read_jsonl.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_jsonl(str(path)) == tracer.records()
+
+    def test_absorb_preserves_worker_stamps(self):
+        parent = Tracer(trace_id="t-1")
+        with parent.span("parallel.block") as block:
+            pass
+        worker = Tracer(
+            trace_id="t-1",
+            server_id=3,
+            id_base=10_000,
+            root_parent_id=block.span_id,
+        )
+        with worker.span("worker.phase1"):
+            worker.event("prefilter.prune", page_id=5)
+        assert parent.absorb(worker.records()) == 2
+        records = parent.records()
+        assert all(r["trace_id"] == "t-1" for r in records)
+        absorbed = [r for r in records if r.get("server_id") == 3]
+        assert len(absorbed) == 2
+        # Worker ids come from the disjoint id_base range, and the
+        # worker's root spans adopted the parent block as parent.
+        phase = next(r for r in absorbed if r["name"] == "worker.phase1")
+        assert phase["span_id"] > 10_000
+        assert phase["parent_id"] == block.span_id
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
@@ -135,10 +169,18 @@ class TestMetricsRegistry:
         assert h.quantile(0.1) <= h.quantile(0.5) <= h.quantile(0.99) <= h.max
         assert h.mean == pytest.approx(h.sum / h.count)
 
-    def test_empty_histogram(self):
+    def test_empty_histogram_quantiles_are_nan(self):
+        # An empty histogram has no quantiles: NaN, deterministically,
+        # so "no observations" is distinguishable from "observed zero".
         h = MetricsRegistry().histogram("h")
-        assert h.quantile(0.5) == 0.0
-        assert h.snapshot()["count"] == 0
+        assert math.isnan(h.quantile(0.5))
+        snapshot = h.snapshot()
+        assert snapshot["count"] == 0
+        assert math.isnan(snapshot["p50"])
+        assert math.isnan(snapshot["p95"])
+        assert math.isnan(snapshot["p99"])
+        h.observe(0.25)
+        assert h.quantile(0.5) == pytest.approx(0.25)
 
     def test_collectors_merged_at_snapshot(self):
         registry = MetricsRegistry()
