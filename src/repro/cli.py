@@ -9,14 +9,19 @@
     python -m repro experiments [...]    # full evaluation (run_all)
     python -m repro report METRICS.json  # pretty-print an observability run
     python -m repro explain 3            # causal provenance card of query #3
+    python -m repro profile TRACE.jsonl  # phase self-time + flamegraph export
+    python -m repro top                  # live dashboard over a serving run
     python -m repro bench --check        # perf-regression check vs. baselines
 
 ``demo`` and ``experiments`` accept ``--trace FILE`` (JSONL spans and
 events) and ``--metrics-out FILE`` (metrics snapshot: sharing factor,
 avoidance hit-rate, phase latency histograms); ``report`` renders such
-files.  ``serve`` and ``report`` accept ``--slo SPEC`` (declarative
-latency/completeness objectives, evaluated with burn rates).  See
-``docs/observability.md``.
+files (a ``.jsonl``/``.jsonl.gz`` positional is treated as a trace).
+``serve`` and ``report`` accept ``--slo SPEC`` (declarative
+latency/completeness objectives, evaluated with burn rates) and
+``--timeline FILE`` (windowed time-series telemetry); ``serve`` also
+takes ``--anomaly SPEC`` (online rules that feed the scheduler's
+``replan()``).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -68,6 +73,55 @@ def _flush_observer(observer, args: argparse.Namespace) -> None:
     if args.metrics_out:
         observer.write_metrics(args.metrics_out)
         print(f"wrote metrics snapshot to {args.metrics_out}")
+
+
+def _attach_timeline(observer, args: argparse.Namespace, always: bool = False):
+    """Attach a TimelineCollector when ``--timeline``/``--anomaly`` ask.
+
+    ``always`` forces one (``repro top`` needs the window ring for its
+    sparklines even without an export path).  Returns the collector or
+    ``None``.
+    """
+    wants = (
+        always
+        or getattr(args, "timeline", None)
+        or getattr(args, "anomaly", None)
+    )
+    if observer is None or not wants:
+        return None
+    from repro.obs import TimelineCollector, load_anomaly_engine
+
+    engine = None
+    if getattr(args, "anomaly", None):
+        engine = load_anomaly_engine(args.anomaly)
+        print(
+            f"anomaly rules: {args.anomaly} "
+            f"({len(engine.rules)} rule(s): "
+            f"{', '.join(rule.name for rule in engine.rules)})"
+        )
+    return observer.attach_timeline(
+        TimelineCollector(
+            observer.metrics,
+            window_ticks=getattr(args, "timeline_window", 4),
+            anomaly_engine=engine,
+        )
+    )
+
+
+def _flush_timeline(timeline, args: argparse.Namespace) -> None:
+    """Close the open window and export/summarise the timeline."""
+    if timeline is None:
+        return
+    timeline.flush()
+    path = getattr(args, "timeline", None)
+    if path:
+        n = timeline.export_jsonl(path)
+        print(f"wrote {n} timeline windows to {path}")
+    if timeline.anomaly_engine is not None:
+        print(
+            f"anomalies fired: {timeline.anomaly_engine.n_fired} "
+            f"across {timeline.n_closed} windows"
+        )
 
 
 def _prefilter_config(args: argparse.Namespace):
@@ -194,6 +248,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
     )
     observer = _make_observer(args) or Observer(trace=False)
+    timeline = _attach_timeline(observer, args)
     database = Database(
         dataset,
         access=args.access,
@@ -290,6 +345,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"calibration drift {drift:.3f}"
             + (" (plan too cheap)" if drift > 1.0 else "")
         )
+    if timeline is not None:
+        _flush_timeline(timeline, args)
+        if scheduler.anomaly_replans:
+            print(
+                f"anomaly replans: {scheduler.anomaly_replans} "
+                f"(block target now {scheduler.block_target})"
+            )
     if args.slo:
         exit_code = max(
             exit_code, _evaluate_slo(args.slo, observer.metrics.snapshot(), args)
@@ -386,20 +448,134 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     from repro.obs import read_jsonl, render_report
 
-    if not args.metrics and not args.trace:
-        print("report: need a metrics file and/or --trace FILE", file=sys.stderr)
+    metrics_path = args.metrics
+    if metrics_path and metrics_path.endswith((".jsonl", ".jsonl.gz")):
+        # A JSONL positional is a trace, not a metrics snapshot --
+        # `repro report trace.jsonl.gz` works the same as `--trace`.
+        if args.trace:
+            print(
+                f"report: both {metrics_path!r} and --trace look like "
+                f"traces; pass the metrics JSON as the positional",
+                file=sys.stderr,
+            )
+            return 2
+        args.trace, metrics_path = metrics_path, None
+    if not metrics_path and not args.trace and not args.timeline:
+        print(
+            "report: need a metrics file, --trace FILE and/or --timeline FILE",
+            file=sys.stderr,
+        )
         return 2
     metrics = None
-    if args.metrics:
-        with open(args.metrics) as handle:
+    if metrics_path:
+        with open(metrics_path) as handle:
             metrics = json.load(handle)
     trace_records = read_jsonl(args.trace) if args.trace else None
-    print(render_report(metrics, trace_records))
+    if metrics is not None or trace_records is not None:
+        print(render_report(metrics, trace_records))
+    if args.timeline:
+        from repro.obs import read_timeline, render_timeline
+
+        if metrics is not None or trace_records is not None:
+            print()
+        print(render_timeline(read_timeline(args.timeline)))
     if args.slo:
         if metrics is None:
             print("report: --slo needs a metrics file", file=sys.stderr)
             return 2
         return _evaluate_slo(args.slo, metrics, args)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Aggregate a recorded trace into per-phase self time + flamegraph.
+
+    Reads a trace written by ``--trace`` (``.jsonl`` or ``.jsonl.gz``),
+    prints the per-phase inclusive/self-time table and writes the
+    folded-stack file (load it in speedscope or feed it to
+    flamegraph.pl / inferno).
+    """
+    from repro.obs import profile_trace, read_jsonl, render_profile, write_folded
+
+    result = profile_trace(read_jsonl(args.trace))
+    print(render_profile(result, top=args.top))
+    out = args.out
+    if out is None:
+        base = args.trace
+        for suffix in (".jsonl.gz", ".jsonl"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        out = base + ".folded"
+    n = write_folded(result, out)
+    print(f"wrote {n} folded stacks to {out}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a serving episode (curses-free).
+
+    Drives the same deterministic round-robin client trace as ``repro
+    serve`` but repaints a dashboard frame after every scheduler round:
+    queue depth, occupancy, TTFA quantiles, per-window rate sparklines
+    and the anomaly feed.  On a TTY frames repaint in place (ANSI
+    clear); otherwise they print sequentially, so piped output stays
+    readable.
+    """
+    import time as _time
+
+    from repro import Database, knn_query
+    from repro.obs import Observer, render_dashboard
+    from repro.workloads import make_gaussian_mixture, sample_database_queries
+
+    dataset = make_gaussian_mixture(
+        n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
+    )
+    observer = Observer(trace=False)
+    timeline = _attach_timeline(observer, args, always=True)
+    database = Database(
+        dataset, access=args.access, engine=args.engine, observer=observer
+    )
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        database.inject_faults(FaultPlan.from_file(args.faults))
+    scheduler = database.serve(
+        block_target=args.block_target,
+        max_block=args.max_block,
+        max_wait=args.max_wait,
+    )
+    indices = sample_database_queries(
+        dataset, args.clients * args.queries_per_client, seed=1
+    )
+    is_tty = sys.stdout.isatty()
+
+    def repaint() -> None:
+        frame = render_dashboard(scheduler, timeline)
+        if is_tty:
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+        else:
+            print(frame)
+            print()
+        if args.delay > 0:
+            _time.sleep(args.delay)
+
+    position = 0
+    for _round in range(args.queries_per_client):
+        for client in range(args.clients):
+            scheduler.submit(
+                dataset[indices[position]], knn_query(args.k), client_id=client
+            )
+            position += 1
+        scheduler.poll()
+        repaint()
+    scheduler.drain()
+    timeline.flush()
+    repaint()
+    if args.timeline:
+        n = timeline.export_jsonl(args.timeline)
+        print(f"wrote {n} timeline windows to {args.timeline}")
     return 0
 
 
@@ -661,6 +837,28 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--trace", default=None, metavar="FILE")
     serve.add_argument("--metrics-out", default=None, metavar="FILE")
     serve.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="write windowed time-series telemetry as JSONL ('.gz' for "
+        "gzip); deterministic for a seeded workload",
+    )
+    serve.add_argument(
+        "--timeline-window",
+        type=int,
+        default=4,
+        metavar="N",
+        help="logical ticks per timeline window (default 4)",
+    )
+    serve.add_argument(
+        "--anomaly",
+        default=None,
+        metavar="SPEC",
+        help="evaluate anomaly rules from a spec file (JSON or the YAML "
+        "subset) against every timeline window; replan-flagged firings "
+        "halve the scheduler's block target",
+    )
+    serve.add_argument(
         "--slo",
         default=None,
         metavar="SPEC",
@@ -684,6 +882,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     report.add_argument(
         "--trace", default=None, metavar="FILE", help="trace JSONL (from --trace)"
+    )
+    report.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="also render a windowed timeline JSONL file "
+        "(from serve --timeline; '.gz' accepted)",
     )
     report.add_argument(
         "--slo",
@@ -740,6 +945,87 @@ def main(argv: list[str] | None = None) -> int:
         help="print the card as JSON instead of the rendered text",
     )
     explain.set_defaults(func=_cmd_explain)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="per-phase self-time profile + folded-stack (flamegraph) "
+        "export from a recorded trace",
+    )
+    profile.add_argument(
+        "trace", help="trace JSONL from --trace ('.jsonl' or '.jsonl.gz')"
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="folded-stack output path (default: trace path with a "
+        "'.folded' suffix); open in speedscope or flamegraph.pl",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="phases to show in the table (default 20)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a serving episode "
+        "(queue depth, TTFA, rate sparklines, anomaly feed)",
+    )
+    top.add_argument("--objects", type=int, default=15_000)
+    top.add_argument("--clients", type=int, default=8)
+    top.add_argument("--queries-per-client", type=int, default=6)
+    top.add_argument("-k", type=int, default=10, help="neighbours per query")
+    top.add_argument(
+        "--access",
+        default="xtree",
+        choices=["scan", "xtree", "mtree", "rstar", "vafile"],
+    )
+    top.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", *engine_names()],
+    )
+    top.add_argument("--block-target", type=int, default=8)
+    top.add_argument("--max-block", type=int, default=32)
+    top.add_argument("--max-wait", type=int, default=16)
+    top.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject faults from a JSON plan while watching the dashboard",
+    )
+    top.add_argument(
+        "--anomaly",
+        default=None,
+        metavar="SPEC",
+        help="evaluate anomaly rules per window; firings land in the feed",
+    )
+    top.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="also export the timeline windows as JSONL on exit",
+    )
+    top.add_argument(
+        "--timeline-window",
+        type=int,
+        default=2,
+        metavar="N",
+        help="logical ticks per timeline window (default 2 for a "
+        "lively display)",
+    )
+    top.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="pause between frames (watchable pacing on a TTY)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     bench = subparsers.add_parser(
         "bench", help="run benchmark suites and compare against baselines"

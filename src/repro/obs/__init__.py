@@ -39,6 +39,12 @@ Quick start::
                                           # latency histograms
 """
 
+from repro.obs.anomaly import (
+    AnomalyEngine,
+    AnomalyRule,
+    load_anomaly_engine,
+    load_anomaly_spec,
+)
 from repro.obs.audit import (
     CALIBRATION_DRIFT_GAUGE,
     PREDICTION_ERROR_DISTANCES,
@@ -46,6 +52,7 @@ from repro.obs.audit import (
     PREDICTION_ERROR_SECONDS,
     PlanAudit,
 )
+from repro.obs.dashboard import render_dashboard, sparkline
 from repro.obs.metrics import (
     CountersAdapter,
     HistogramMetric,
@@ -54,6 +61,13 @@ from repro.obs.metrics import (
     stable_floats,
 )
 from repro.obs.observer import Observer, maybe_phase
+from repro.obs.profiler import (
+    ProfileResult,
+    folded_lines,
+    profile_trace,
+    render_profile,
+    write_folded,
+)
 from repro.obs.provenance import (
     QueryCard,
     ancestry,
@@ -76,6 +90,12 @@ from repro.obs.slo import (
     load_slo_spec,
     render_slo,
 )
+from repro.obs.timeline import (
+    TimelineCollector,
+    deterministic_series,
+    read_timeline,
+    render_timeline,
+)
 from repro.obs.tracing import (
     EVENT_AVOIDANCE_TRY,
     EVENT_BLOCK_FLUSH,
@@ -91,6 +111,8 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AnomalyEngine",
+    "AnomalyRule",
     "CALIBRATION_DRIFT_GAUGE",
     "CountersAdapter",
     "EVENT_AVOIDANCE_TRY",
@@ -109,27 +131,40 @@ __all__ = [
     "PREDICTION_ERROR_IO",
     "PREDICTION_ERROR_SECONDS",
     "PlanAudit",
+    "ProfileResult",
     "QueryCard",
     "SLOObjective",
     "SLOResult",
+    "TimelineCollector",
     "Tracer",
     "ancestry",
     "attach_counters",
     "build_cards",
     "compare",
+    "deterministic_series",
     "entries_from_bench_file",
     "evaluate_slos",
+    "folded_lines",
+    "load_anomaly_engine",
+    "load_anomaly_spec",
     "load_slo_spec",
     "load_store",
     "maybe_phase",
+    "profile_trace",
     "read_jsonl",
+    "read_timeline",
     "render_card",
     "render_comparison",
+    "render_dashboard",
+    "render_profile",
     "render_report",
     "render_slo",
+    "render_timeline",
     "run_quick_suite",
     "save_store",
+    "sparkline",
     "stable_floats",
     "summarize_metrics",
     "summarize_trace",
+    "write_folded",
 ]

@@ -89,7 +89,16 @@ class HistogramMetric:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (upper bound of the covering bucket).
+        """Estimated q-quantile, linearly interpolated within its bucket.
+
+        The covering bucket is the one where the cumulative count
+        crosses ``q * count``; the estimate interpolates between the
+        bucket's bounds by how far into the bucket the rank falls
+        (clamped to the observed min/max, so a single-observation
+        histogram reports the observation itself rather than its
+        bucket's upper bound -- keeping ``repro report`` p50/p99 and
+        the SLO engine's conservative bucket counting consistent on
+        single-bucket data).
 
         An empty histogram has no quantiles: returns ``float("nan")``
         deterministically (rather than an arbitrary bucket bound) so
@@ -101,11 +110,19 @@ class HistogramMetric:
         rank = q * self.count
         cumulative = 0
         for i, n in enumerate(self.counts):
+            if n and cumulative + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                lower = max(lower, self.min)
+                upper = (
+                    min(self.bounds[i], self.max)
+                    if i < len(self.bounds)
+                    else self.max
+                )
+                if upper <= lower:
+                    return upper
+                fraction = min(1.0, max(0.0, (rank - cumulative) / n))
+                return lower + (upper - lower) * fraction
             cumulative += n
-            if cumulative >= rank and n:
-                if i < len(self.bounds):
-                    return min(self.bounds[i], self.max)
-                return self.max
         return self.max
 
     def snapshot(self) -> dict[str, Any]:
@@ -204,47 +221,87 @@ class MetricsRegistry:
             json.dump(self.snapshot(), handle, indent=2, default=_json_default)
             handle.write("\n")
 
-    def to_prometheus(self, prefix: str = "repro_") -> str:
+    def to_prometheus(self, prefix: str = "repro_", timeline: Any = None) -> str:
         """Render every metric in Prometheus text exposition format.
 
         Counters, gauges and collected values become ``counter`` /
         ``gauge`` samples; histograms become the standard cumulative
         ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Metric
         names are mangled to the Prometheus charset (dots become
-        underscores) under ``prefix``.
+        underscores) under ``prefix``; a leading digit after mangling
+        gets an underscore prepended.  Distinct registry names can
+        mangle to the same exposition name -- each ``# TYPE`` line is
+        emitted once per exposition name (first metric wins), since
+        duplicated metadata lines make scrapers reject the whole page.
+
+        With a :class:`~repro.obs.timeline.TimelineCollector` passed as
+        ``timeline``, the latest closed window is exposed as windowed
+        gauges: ``<counter>_rate`` (per-tick delta rate) for every
+        counter that moved, plus ``<prefix>timeline_<rate>`` for the
+        window's derived rates.
         """
         lines: list[str] = []
+        typed: set[str] = set()
+
+        def type_line(pname: str, kind: str) -> None:
+            if pname not in typed:
+                typed.add(pname)
+                lines.append(f"# TYPE {pname} {kind}")
+
         collected: dict[str, float] = {}
         for collector in self._collectors:
             collected.update(collector())
         for name, counter in sorted(self._counters.items()):
             pname = _prometheus_name(name, prefix)
-            lines.append(f"# TYPE {pname} counter")
+            type_line(pname, "counter")
             lines.append(f"{pname} {counter.value}")
         for name, gauge in sorted(self._gauges.items()):
             pname = _prometheus_name(name, prefix)
-            lines.append(f"# TYPE {pname} gauge")
+            type_line(pname, "gauge")
             lines.append(f"{pname} {_prometheus_value(gauge.value)}")
         for name, value in sorted(collected.items()):
             pname = _prometheus_name(name, prefix)
-            lines.append(f"# TYPE {pname} gauge")
+            type_line(pname, "gauge")
             lines.append(f"{pname} {_prometheus_value(value)}")
         for name, histogram in sorted(self._histograms.items()):
             pname = _prometheus_name(name, prefix)
-            lines.append(f"# TYPE {pname} histogram")
+            type_line(pname, "histogram")
             cumulative = 0
             for bound, count in zip(histogram.bounds, histogram.counts):
                 cumulative += count
-                le = _prometheus_value(float(bound))
+                le = _escape_label(_prometheus_value(float(bound)))
                 lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
             lines.append(f'{pname}_bucket{{le="+Inf"}} {histogram.count}')
             lines.append(f"{pname}_sum {_prometheus_value(histogram.sum)}")
             lines.append(f"{pname}_count {histogram.count}")
+        window = timeline.windows[-1] if timeline is not None and timeline.windows else None
+        if window is not None:
+            ticks = max(1, int(window.get("ticks", 1)))
+            for name, delta in sorted(window.get("counters", {}).items()):
+                pname = _prometheus_name(name, prefix) + "_rate"
+                type_line(pname, "gauge")
+                lines.append(f"{pname} {_prometheus_value(delta / ticks)}")
+            for name, value in sorted(window.get("rates", {}).items()):
+                pname = _prometheus_name(f"timeline.{name}", prefix)
+                type_line(pname, "gauge")
+                lines.append(f"{pname} {_prometheus_value(float(value))}")
         return "\n".join(lines) + "\n"
 
 
 def _prometheus_name(name: str, prefix: str) -> str:
-    return prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    mangled = prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    # The exposition charset forbids a leading digit (possible with an
+    # empty prefix).
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _prometheus_value(value: float) -> str:

@@ -91,6 +91,20 @@ class Observer:
             if tracer is not None
             else Tracer(capacity=trace_capacity, enabled=trace)
         )
+        #: Optional windowed time-series collector (see
+        #: :mod:`repro.obs.timeline`); ``None`` keeps every tick-clock
+        #: call site on its existing one-attribute-check fast path.
+        self.timeline: Any = None
+
+    def attach_timeline(self, timeline: Any) -> Any:
+        """Attach a :class:`~repro.obs.timeline.TimelineCollector`.
+
+        Sets the back-reference the collector uses to surface anomaly
+        firings as observer events, and returns the collector.
+        """
+        self.timeline = timeline
+        timeline.observer = self
+        return timeline
 
     def event(self, name: str, **attrs: Any) -> None:
         """Count an event and (when tracing) record it with attributes."""
@@ -137,9 +151,24 @@ class Observer:
             handle.write("\n")
 
     def write_prometheus(self, path: str) -> None:
-        """Write the registry in Prometheus text exposition format."""
+        """Write the registry in Prometheus text exposition format.
+
+        With a timeline attached, the latest closed window additionally
+        surfaces as per-counter ``_rate`` gauges.
+        """
         with open(path, "w") as handle:
-            handle.write(self.metrics.to_prometheus())
+            handle.write(self.metrics.to_prometheus(timeline=self.timeline))
+
+    def write_timeline(self, path: str, deterministic: bool = True) -> int:
+        """Flush and export the attached timeline as JSONL(.gz).
+
+        Returns the number of windows written; raises when no timeline
+        collector is attached.
+        """
+        if self.timeline is None:
+            raise ValueError("no timeline collector attached")
+        self.timeline.flush()
+        return self.timeline.export_jsonl(path, deterministic=deterministic)
 
     def write_trace(self, path: str) -> int:
         """Write the trace ring buffer as JSONL; returns entry count.

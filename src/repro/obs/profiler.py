@@ -1,0 +1,160 @@
+"""Self-time phase profiler over the recorded span tree.
+
+The tracer already records every ``maybe_phase`` span with a duration,
+a span id and its parent's id -- including worker-process spans merged
+back by :meth:`~repro.obs.tracing.Tracer.absorb` with disjoint id
+ranges.  This module aggregates that tree after the fact:
+
+* per-phase **inclusive** time (the span's own duration) and **self**
+  time (duration minus the time spent in child spans, clamped at zero
+  so clock jitter between a parent and its children never goes
+  negative), with call counts;
+* **folded stacks** -- one line per unique root-to-leaf phase path,
+  ``parent;child;leaf <self_time_µs>`` -- the interchange format that
+  flamegraph.pl, speedscope and ``inferno`` all load directly.
+
+``repro profile <trace.jsonl[.gz]>`` runs both over a recorded trace
+and is pure post-processing: nothing here runs during a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated times for one phase name across the whole trace."""
+
+    name: str
+    count: int = 0
+    inclusive_s: float = 0.0
+    self_s: float = 0.0
+
+
+@dataclass
+class ProfileResult:
+    """Everything ``repro profile`` renders and exports."""
+
+    phases: list[PhaseStat]
+    #: ``"a;b;c" -> self seconds`` aggregated over identical stacks.
+    folded: dict[str, float]
+    n_spans: int
+    total_s: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.total_s = sum(stat.self_s for stat in self.phases)
+
+
+def _span_records(
+    records: Iterable[Mapping[str, Any]],
+) -> list[Mapping[str, Any]]:
+    return [
+        r
+        for r in records
+        if r.get("kind") == "span" and r.get("span_id") is not None
+    ]
+
+
+def profile_trace(records: Iterable[Mapping[str, Any]]) -> ProfileResult:
+    """Aggregate a trace's span records into a :class:`ProfileResult`.
+
+    Works on any record list :func:`repro.obs.tracing.read_jsonl`
+    returns; event records are ignored.  Spans whose parent never made
+    it into the ring buffer (dropped, or a cross-process root) are
+    treated as roots.
+    """
+    spans = _span_records(records)
+    by_id: dict[int, Mapping[str, Any]] = {s["span_id"]: s for s in spans}
+    child_time: dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + float(
+                span.get("dur_s", 0.0)
+            )
+
+    stats: dict[str, PhaseStat] = {}
+    folded: dict[str, float] = {}
+    for span in spans:
+        name = str(span.get("name", "?"))
+        inclusive = float(span.get("dur_s", 0.0))
+        self_s = max(0.0, inclusive - child_time.get(span["span_id"], 0.0))
+        stat = stats.setdefault(name, PhaseStat(name))
+        stat.count += 1
+        stat.inclusive_s += inclusive
+        stat.self_s += self_s
+        if self_s > 0.0:
+            stack = _stack_of(span, by_id)
+            folded[stack] = folded.get(stack, 0.0) + self_s
+
+    ordered = sorted(
+        stats.values(), key=lambda s: (-s.self_s, -s.inclusive_s, s.name)
+    )
+    return ProfileResult(phases=ordered, folded=folded, n_spans=len(spans))
+
+
+def _stack_of(
+    span: Mapping[str, Any], by_id: Mapping[int, Mapping[str, Any]]
+) -> str:
+    """Root-to-leaf ``;``-joined phase path via the parent chain."""
+    names = [str(span.get("name", "?"))]
+    seen = {span["span_id"]}
+    parent = span.get("parent_id")
+    while parent is not None and parent in by_id and parent not in seen:
+        seen.add(parent)
+        node = by_id[parent]
+        names.append(str(node.get("name", "?")))
+        parent = node.get("parent_id")
+    return ";".join(reversed(names))
+
+
+def folded_lines(result: ProfileResult) -> list[str]:
+    """The folded-stack file, one ``stack <self_µs>`` line per stack.
+
+    Weights are integer microseconds (the format's convention is an
+    integer sample count); zero-weight stacks are dropped.  Lines are
+    sorted so repeated runs of a deterministic trace diff cleanly.
+    """
+    lines = []
+    for stack in sorted(result.folded):
+        micros = round(result.folded[stack] * 1e6)
+        if micros > 0:
+            lines.append(f"{stack} {micros}")
+    return lines
+
+
+def write_folded(result: ProfileResult, path: str) -> int:
+    """Write the folded-stack file; returns the number of stacks."""
+    lines = folded_lines(result)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def render_profile(result: ProfileResult, top: int = 20) -> str:
+    """Aligned per-phase table, heaviest self time first (CLI output)."""
+    title = "phase profile"
+    lines = [title, "-" * len(title)]
+    if not result.phases:
+        lines.append("  (no spans -- was the run traced?)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'phase':<28}{'count':>8}{'inclusive':>12}{'self':>12}{'self %':>8}"
+    )
+    total = result.total_s or 1.0
+    for stat in result.phases[:top]:
+        lines.append(
+            f"  {stat.name:<28}{stat.count:>8}"
+            f"{stat.inclusive_s:>11.4f}s{stat.self_s:>11.4f}s"
+            f"{100.0 * stat.self_s / total:>7.1f}%"
+        )
+    if len(result.phases) > top:
+        lines.append(f"  ... {len(result.phases) - top} more phases")
+    lines.append(
+        f"  {result.n_spans} spans, {len(result.folded)} unique stacks, "
+        f"{result.total_s:.4f}s total self time"
+    )
+    return "\n".join(lines)

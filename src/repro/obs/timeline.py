@@ -1,0 +1,408 @@
+"""Windowed time-series telemetry on the logical tick clock.
+
+Everything else in :mod:`repro.obs` is *cumulative*: the registry, the
+plan audit and the SLO engine all read end-of-run totals.  The
+:class:`TimelineCollector` adds the time axis -- it snapshots the
+registry on the scheduler's deterministic logical tick clock and keeps a
+bounded ring of *windows*, each holding the per-window **deltas** of
+every counter and histogram plus the last value of every gauge, the
+block-level cost-counter deltas (per server on the parallel backends,
+shipped over the same picklable-delta path
+:meth:`repro.faults.injector.FaultInjector.stats_delta` uses), and
+derived rates (pages/tick, sharing factor, avoidance hit-rate, server
+skew).
+
+Windows are what the online :mod:`~repro.obs.anomaly` engine evaluates,
+what ``repro top`` renders live, and what ``repro serve --timeline``
+exports as sorted-key JSONL (gzip when the path ends in ``.gz``).
+
+Determinism: the JSONL export is *byte-identical* across repeated runs
+of the same seeded workload, and across the model and process parallel
+backends.  Wall-clock series would break that -- worker-process phase
+histograms never merge back into the coordinator registry, and measured
+wall seconds differ run to run -- so :func:`deterministic_series`
+excludes any series whose name contains ``wall`` or ends in
+``.seconds``, the planner's calibration series (ratios of wall
+seconds), and execution-layer series that are recorded worker-side on
+the process backend (``events.*`` other than the coordinator-emitted
+service/worker/anomaly taxonomies, ``index.*``, ``page*.*``,
+``prefilter.*``).  Cross-backend-consistent series -- the scheduler's
+``service.*`` family, the fault accounting mirrored by
+:meth:`~repro.faults.injector.FaultInjector.absorb`, modelled seconds,
+and every block-level cost delta -- all stay in.  Pass
+``deterministic=False`` to export everything (the live dashboard always
+sees everything).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry, stable_floats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.anomaly import AnomalyEngine
+    from repro.obs.observer import Observer
+
+#: Ticks per window when none is given: small enough that a `serve`
+#: demo produces several windows, large enough to amortise the snapshot.
+DEFAULT_WINDOW_TICKS = 4
+
+#: Closed windows kept in memory (oldest are dropped, never silently:
+#: :attr:`TimelineCollector.n_dropped` counts them).
+DEFAULT_WINDOW_CAPACITY = 256
+
+#: ``events.*`` counters that the coordinator itself emits -- these are
+#: backend-consistent and stay in the deterministic export.
+_DETERMINISTIC_EVENT_PREFIXES = (
+    "events.service.",
+    "events.worker.",
+    "events.anomaly.",
+)
+
+#: Series recorded by execution-layer instrumentation that runs inside
+#: worker processes on the process backend (never merged back), or that
+#: mirror wall-clock-derived planner state; excluded from the
+#: deterministic export wholesale.
+_EXCLUDED_PREFIXES = (
+    "planner.",
+    "index.",
+    "pages.",
+    "page.",
+    "prefilter.",
+    "timeline.",
+)
+
+
+def deterministic_series(name: str) -> bool:
+    """Whether a metric series belongs in the deterministic export.
+
+    See the module docstring for the rationale of each exclusion.
+    """
+    if "wall" in name or name.endswith(".seconds"):
+        return False
+    if name.startswith(_EXCLUDED_PREFIXES):
+        return False
+    if name.startswith("events."):
+        return name.startswith(_DETERMINISTIC_EVENT_PREFIXES)
+    return True
+
+
+def _page_reads(cost: Mapping[str, float]) -> float:
+    return float(
+        cost.get("random_page_reads", 0) + cost.get("sequential_page_reads", 0)
+    )
+
+
+class TimelineCollector:
+    """Bounded ring of per-window metric deltas on the logical clock.
+
+    Parameters
+    ----------
+    metrics:
+        The registry to snapshot (the attached observer's).
+    window_ticks:
+        Logical ticks per window.  The scheduler advances one tick per
+        submit/poll; the block runners advance one tick per block.
+    capacity:
+        Closed windows kept (ring buffer; drops are counted).
+    anomaly_engine:
+        Optional :class:`~repro.obs.anomaly.AnomalyEngine` evaluated
+        against every freshly closed window; its firings are queued for
+        :meth:`drain_anomalies` (the scheduler feeds them to
+        ``replan()``) and embedded in the window record.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        window_ticks: int = DEFAULT_WINDOW_TICKS,
+        capacity: int = DEFAULT_WINDOW_CAPACITY,
+        anomaly_engine: "AnomalyEngine | None" = None,
+    ):
+        if window_ticks < 1:
+            raise ValueError("window_ticks must be positive")
+        if capacity < 1:
+            raise ValueError("window capacity must be positive")
+        self.metrics = metrics
+        self.window_ticks = window_ticks
+        self.capacity = capacity
+        self.anomaly_engine = anomaly_engine
+        #: Back-reference set by :meth:`Observer.attach_timeline`; lets
+        #: anomaly firings surface as observer events.
+        self.observer: "Observer | None" = None
+        self.windows: deque[dict[str, Any]] = deque()
+        self.n_closed = 0
+        self.n_dropped = 0
+        self.tick = 0
+        self._window_start = 0
+        self._base = self._numbers()
+        self._block_cost: dict[str, float] = {}
+        self._server_cost: dict[int, dict[str, float]] = {}
+        self._pending_anomalies: list[dict[str, Any]] = []
+        #: Recent firings for the dashboard feed (not drained by the
+        #: scheduler; bounded independently of the window ring).
+        self.anomaly_log: deque[dict[str, Any]] = deque(maxlen=64)
+
+    # -- recording -----------------------------------------------------
+
+    def record_block(
+        self,
+        cost_delta: Mapping[str, float],
+        server_id: int | None = None,
+    ) -> None:
+        """Fold one block's cost-counter delta into the open window.
+
+        ``cost_delta`` is a plain ``field -> int`` dict -- exactly the
+        picklable form the process backend ships from its workers
+        (``Counters.diff(snapshot).as_dict()``), so both parallel
+        backends feed the same deterministic numbers.  With a
+        ``server_id`` the delta is additionally kept per server, which
+        is where the per-window skew rate comes from.
+        """
+        for name, value in cost_delta.items():
+            if value:
+                self._block_cost[name] = self._block_cost.get(name, 0) + value
+        if server_id is not None:
+            per_server = self._server_cost.setdefault(server_id, {})
+            for name, value in cost_delta.items():
+                if value:
+                    per_server[name] = per_server.get(name, 0) + value
+
+    def advance(self, tick: int | None = None) -> None:
+        """Advance the logical clock; closes windows at boundaries.
+
+        Called once per scheduler tick (with the scheduler's tick) or
+        once per block by the block runners (without an argument, which
+        increments an internal tick).  Closing a window snapshots the
+        registry, computes the deltas and rates, evaluates the anomaly
+        rules and appends the window to the ring.
+        """
+        self.tick = self.tick + 1 if tick is None else tick
+        if self.tick - self._window_start >= self.window_ticks:
+            self._close_window(self.tick)
+
+    def flush(self) -> None:
+        """Close the open partial window, if it saw any ticks."""
+        if self.tick > self._window_start:
+            self._close_window(self.tick)
+
+    # -- anomaly hand-off ----------------------------------------------
+
+    def drain_anomalies(self) -> list[dict[str, Any]]:
+        """Take (and clear) the anomaly firings queued since last drain."""
+        firings = self._pending_anomalies
+        self._pending_anomalies = []
+        return firings
+
+    # -- window construction -------------------------------------------
+
+    def _numbers(self) -> dict[str, Any]:
+        """Flat numeric view of the registry for delta computation."""
+        snapshot = self.metrics.snapshot()
+        return {
+            "counters": dict(snapshot["counters"]),
+            "gauges": dict(snapshot["gauges"]),
+            "collected": dict(snapshot["collected"]),
+            "histograms": {
+                name: (hist["count"], hist["sum"])
+                for name, hist in snapshot["histograms"].items()
+            },
+        }
+
+    def _close_window(self, end_tick: int) -> None:
+        current = self._numbers()
+        base = self._base
+        counters = {
+            name: value - base["counters"].get(name, 0)
+            for name, value in current["counters"].items()
+            if value - base["counters"].get(name, 0)
+        }
+        # Collected values mix cumulative counts (``cost.*``) with
+        # ratios (``derived.*``, buffer rates): counts are windowed as
+        # deltas, ratios keep their latest value.
+        collected: dict[str, float] = {}
+        for name, value in current["collected"].items():
+            if name.startswith("cost."):
+                delta = value - base["collected"].get(name, 0)
+                if delta:
+                    collected[name] = delta
+            else:
+                collected[name] = value
+        observations = {}
+        for name, (count, total) in current["histograms"].items():
+            base_count, base_sum = base["histograms"].get(name, (0, 0.0))
+            if count - base_count:
+                observations[name] = {
+                    "count": count - base_count,
+                    "sum": total - base_sum,
+                }
+        window: dict[str, Any] = {
+            "window": self.n_closed,
+            "tick_start": self._window_start,
+            "tick_end": end_tick,
+            "ticks": end_tick - self._window_start,
+            "counters": counters,
+            "gauges": dict(current["gauges"]),
+            "collected": collected,
+            "observations": observations,
+            "cost": {k: v for k, v in self._block_cost.items() if v},
+            "rates": self._rates(end_tick - self._window_start),
+        }
+        if self._server_cost:
+            window["servers"] = {
+                str(server): {k: v for k, v in cost.items() if v}
+                for server, cost in sorted(self._server_cost.items())
+            }
+        self._append(window)
+        self._base = current
+        self._block_cost = {}
+        self._server_cost = {}
+        self._window_start = end_tick
+        self.n_closed += 1
+        if self.anomaly_engine is not None:
+            firings = self.anomaly_engine.evaluate(window, self.observer)
+            if firings:
+                window["anomalies"] = [
+                    {k: firing[k] for k in ("rule", "kind", "series", "value")}
+                    for firing in firings
+                ]
+                self._pending_anomalies.extend(firings)
+                self.anomaly_log.extend(firings)
+
+    def _append(self, window: dict[str, Any]) -> None:
+        if len(self.windows) >= self.capacity:
+            self.windows.popleft()
+            self.n_dropped += 1
+        self.windows.append(window)
+
+    def _rates(self, ticks: int) -> dict[str, float]:
+        """Derived per-window rates from the block-level cost deltas."""
+        cost = self._block_cost
+        ticks = max(1, ticks)
+        pages = _page_reads(cost)
+        queries = float(cost.get("queries_completed", 0))
+        distances = float(cost.get("distance_calculations", 0))
+        avoided = float(cost.get("avoided_calculations", 0))
+        tries = float(cost.get("avoidance_tries", 0))
+        hits = float(cost.get("buffer_hits", 0))
+        rates = {
+            "pages_per_tick": pages / ticks,
+            "queries_per_tick": queries / ticks,
+        }
+        if pages:
+            rates["sharing_factor"] = queries / pages
+        if tries:
+            rates["avoidance_hit_rate"] = avoided / tries
+        if distances + avoided:
+            # Fraction of candidate distance computations the Lemma 1/2
+            # bounds pruned out of the window's workload.
+            rates["prune_effectiveness"] = avoided / (distances + avoided)
+        if hits + pages:
+            rates["buffer_hit_rate"] = hits / (hits + pages)
+        if self._server_cost:
+            per_server = [
+                _page_reads(cost) for cost in self._server_cost.values()
+            ]
+            mean = sum(per_server) / len(per_server)
+            if mean > 0:
+                rates["server_skew"] = max(per_server) / mean
+        return rates
+
+    # -- export --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def filtered_window(self, window: Mapping[str, Any]) -> dict[str, Any]:
+        """One window with only deterministic series (export form)."""
+        out: dict[str, Any] = {}
+        for key, value in window.items():
+            if key in ("counters", "gauges", "collected", "observations"):
+                out[key] = {
+                    name: item
+                    for name, item in value.items()
+                    if deterministic_series(name)
+                }
+            else:
+                out[key] = value
+        return out
+
+    def to_jsonl(self, deterministic: bool = True) -> str:
+        """Render the closed windows as sorted-key JSON Lines."""
+        lines = []
+        for window in self.windows:
+            record = self.filtered_window(window) if deterministic else window
+            lines.append(
+                json.dumps(stable_floats(record), sort_keys=True) + "\n"
+            )
+        return "".join(lines)
+
+    def export_jsonl(self, path: str, deterministic: bool = True) -> int:
+        """Write the closed windows as JSONL; returns the window count.
+
+        Paths ending in ``.gz`` are gzip-compressed (``mtime=0`` so the
+        compressed bytes are as deterministic as the payload).
+        """
+        text = self.to_jsonl(deterministic)
+        if path.endswith(".gz"):
+            with open(path, "wb") as raw:
+                with gzip.GzipFile(
+                    fileobj=raw, mode="wb", filename="", mtime=0
+                ) as handle:
+                    handle.write(text.encode("utf-8"))
+        else:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return len(self.windows)
+
+
+def read_timeline(path: str) -> list[dict[str, Any]]:
+    """Parse a timeline JSONL file (gzip transparently)."""
+    from repro.obs.tracing import read_jsonl
+
+    return read_jsonl(path)
+
+
+def render_timeline(
+    windows: list[dict[str, Any]], width: int = 48
+) -> str:
+    """Aligned table + sparklines of a timeline (``repro report``)."""
+    from repro.obs.dashboard import sparkline
+
+    if not windows:
+        return "timeline\n--------\n  (no windows)"
+    lines = ["timeline", "-" * len("timeline")]
+    lines.append(
+        f"  {'win':>4} {'ticks':>6} {'pages':>8} {'queries':>8} "
+        f"{'sharing':>8} {'avoid':>6} {'skew':>6} {'anomalies':>10}"
+    )
+    for window in windows:
+        rates = window.get("rates", {})
+        cost = window.get("cost", {})
+        pages = _page_reads(cost)
+        sharing = rates.get("sharing_factor")
+        avoid = rates.get("avoidance_hit_rate")
+        skew = rates.get("server_skew")
+        anomalies = window.get("anomalies", [])
+        lines.append(
+            f"  {window.get('window', 0):>4} {window.get('ticks', 0):>6} "
+            f"{pages:>8.0f} {cost.get('queries_completed', 0):>8} "
+            f"{sharing if sharing is not None else float('nan'):>8.2f} "
+            f"{avoid if avoid is not None else float('nan'):>6.2f} "
+            f"{skew if skew is not None else float('nan'):>6.2f} "
+            f"{', '.join(a['rule'] for a in anomalies) if anomalies else '-':>10}"
+        )
+    for label, key in (
+        ("pages/tick", "pages_per_tick"),
+        ("queries/tick", "queries_per_tick"),
+        ("sharing", "sharing_factor"),
+    ):
+        series = [float(w.get("rates", {}).get(key, 0.0)) for w in windows]
+        lines.append(f"  {label:<14}{sparkline(series, width)}")
+    fired = sum(len(w.get("anomalies", [])) for w in windows)
+    lines.append(f"  {len(windows)} windows, {fired} anomaly firings")
+    return "\n".join(lines)

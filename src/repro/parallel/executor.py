@@ -736,6 +736,7 @@ class ParallelDatabase:
             walls = [0.0 for _ in self.servers]
         else:
             snapshots = [server.database.counters.copy() for server in self.servers]
+        timeline = self.observer.timeline if self.observer is not None else None
 
         per_server_answers: list[list[list[Answer]]] = [[] for _ in self.servers]
         for start in range(0, len(query_objs), effective_block):
@@ -784,7 +785,18 @@ class ParallelDatabase:
                             self.fault_injector.absorb(fault_stats)
                         if trace_records and self.observer is not None:
                             self.observer.tracer.absorb(trace_records)
+                        if timeline is not None:
+                            # The worker's per-block counter delta is
+                            # already the picklable dict the timeline
+                            # wants -- the same path the fault stats
+                            # take home.
+                            timeline.record_block(counter_dict, server_id=s)
                 else:
+                    if timeline is not None:
+                        block_snapshots = [
+                            server.database.counters.copy()
+                            for server in self.servers
+                        ]
                     block_results = self._run_block(
                         block, use_avoidance, warm_start, share_home_bounds
                     )
@@ -792,6 +804,17 @@ class ParallelDatabase:
                         per_server_answers[s].extend(
                             self.servers[s].to_global(result) for result in local
                         )
+                        if timeline is not None:
+                            timeline.record_block(
+                                self.servers[s]
+                                .database.counters.diff(block_snapshots[s])
+                                .as_dict(),
+                                server_id=s,
+                            )
+            if timeline is not None:
+                # No scheduler clock here either: one tick per block,
+                # matching ``run_in_blocks``.
+                timeline.advance()
 
         if backend == "process":
             per_server_runs = [

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Hashable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Mapping, Sequence
 
 from repro.core.answers import Answer
 from repro.core.types import QueryType
@@ -189,6 +189,11 @@ class QueryScheduler:
         self._serial = 0
         self._n_flushed_blocks = 0
         self._n_degraded_sessions = 0
+        #: Cost fits adopted by the last :meth:`replan(fits=...)` call;
+        #: anomaly-triggered replans reuse them.
+        self._fits: list["CostFit"] | None = None
+        #: Block-target halvings triggered by anomaly firings.
+        self.anomaly_replans = 0
         #: Plan-vs-actual audit, armed by :meth:`replan` when cost fits
         #: are supplied (see :mod:`repro.obs.audit`).
         self.audit: PlanAudit | None = None
@@ -203,17 +208,42 @@ class QueryScheduler:
     # Planner feedback
     # ------------------------------------------------------------------
 
-    def replan(self, fits: Sequence["CostFit"]) -> None:
-        """Adopt planner cost fits: knee-point target + access choice.
+    def replan(
+        self,
+        fits: Sequence["CostFit"] | None = None,
+        anomalies: Sequence[Mapping[str, Any]] = (),
+    ) -> None:
+        """Adopt planner cost fits and/or react to anomaly firings.
+
+        With ``fits``, adopts them (knee-point block target + access
+        recommendation) and remembers them; called bare, re-plans from
+        the remembered fits (raising when none were ever supplied).
+        ``anomalies`` -- firing records drained from the timeline's
+        :class:`~repro.obs.anomaly.AnomalyEngine` each flush -- may
+        arrive with or without fits: any firing whose rule is marked
+        ``replan: true`` halves the block target (floor 1), the live
+        counterpart of the knee-point logic for conditions the cost
+        model cannot see (degraded tickets, throughput collapse).
 
         The scheduler keeps serving through its current database either
         way -- :attr:`recommended_access` is advisory, surfaced so a
         caller holding a :class:`~repro.core.planner.QueryPlanner` can
         re-home the scheduler when the recommendation diverges.
         """
-        fits = list(fits)
-        if not fits:
-            raise ValueError("need at least one cost fit")
+        if fits is None and not anomalies:
+            fits = self._fits
+            if fits is None:
+                raise ValueError("need at least one cost fit")
+        if fits is not None:
+            fits = list(fits)
+            if not fits:
+                raise ValueError("need at least one cost fit")
+            self._fits = list(fits)
+            self._replan_fits(fits)
+        if anomalies:
+            self._replan_anomalies(anomalies)
+
+    def _replan_fits(self, fits: list["CostFit"]) -> None:
         current = self.database.access_method.name
         own = [fit for fit in fits if fit.access == current]
         fit = own[0] if own else min(
@@ -244,6 +274,28 @@ class QueryScheduler:
                 ),
             )
 
+    def _replan_anomalies(
+        self, anomalies: Sequence[Mapping[str, Any]]
+    ) -> None:
+        """Back off the block target when a replan-flagged rule fired.
+
+        One halving per replan call no matter how many rules fired
+        together, so a noisy window cannot collapse the target to 1 in
+        a single step.
+        """
+        triggers = [f["rule"] for f in anomalies if f.get("replan")]
+        if not triggers:
+            return
+        self.anomaly_replans += 1
+        self.block_target = max(1, self.block_target // 2)
+        if self.observer is not None:
+            self.observer.metrics.inc("service.replan.anomaly")
+            self.observer.event(
+                "service.replan.anomaly",
+                rules=",".join(triggers),
+                block_target=self.block_target,
+            )
+
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
@@ -268,6 +320,11 @@ class QueryScheduler:
         in place when its block runs.
         """
         self.tick += 1
+        if (
+            self.observer is not None
+            and self.observer.timeline is not None
+        ):
+            self.observer.timeline.advance(self.tick)
         while len(self._queue) >= self.max_queue:
             self._flush_block()
         self._serial += 1
@@ -301,6 +358,11 @@ class QueryScheduler:
         partially filled block still flushes within ``max_wait`` ticks.
         """
         self.tick += 1
+        if (
+            self.observer is not None
+            and self.observer.timeline is not None
+        ):
+            self.observer.timeline.advance(self.tick)
         self._maybe_flush()
 
     def drain(self) -> None:
@@ -406,6 +468,9 @@ class QueryScheduler:
         audit = self.audit
         if audit is not None:
             audit.begin_block(self.database.counters)
+        timeline = observer.timeline if observer is not None else None
+        if timeline is not None:
+            timeline_base = self.database.counters.copy()
         degraded_events: dict[Hashable, DegradedAnswerEvent] = {}
         degraded_reason: str | None = None
         for position, ticket in enumerate(batch):
@@ -454,6 +519,17 @@ class QueryScheduler:
             # only the work done before the fault, which would read as
             # a spurious "plan too expensive" signal.
             audit.end_block(self.database.counters, len(batch))
+        if timeline is not None:
+            # Degraded blocks are included here, unlike the audit: the
+            # timeline records what the block actually cost, and a
+            # collapsed window is exactly the signal the anomaly rules
+            # watch for.
+            timeline.record_block(
+                self.database.counters.diff(timeline_base).as_dict()
+            )
+            firings = timeline.drain_anomalies()
+            if firings:
+                self.replan(anomalies=firings)
         for ticket in batch:
             session.retire(ticket.key)
 

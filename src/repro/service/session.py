@@ -493,10 +493,13 @@ def run_in_blocks(
         raise ValueError("need one query type per query object")
     observer = getattr(database, "observer", None)
     injector = getattr(database, "fault_injector", None)
+    timeline = observer.timeline if observer is not None else None
     results: list[list[Answer]] = []
     for block_index, start in enumerate(range(0, len(query_objs), block_size)):
         if injector is not None:
             injector.begin_block()
+        if timeline is not None:
+            timeline_base = database.counters.copy()
         session = QuerySession(
             database,
             engine=engine,
@@ -518,4 +521,11 @@ def run_in_blocks(
             results.extend(
                 session.run(block_objs, block_types, db_indices=block_indices)
             )
+        if timeline is not None:
+            # Outside a scheduler there is no submit/poll clock, so the
+            # block runner is the tick source: one tick per block.
+            timeline.record_block(
+                database.counters.diff(timeline_base).as_dict()
+            )
+            timeline.advance()
     return results

@@ -169,6 +169,24 @@ class TestMetricsRegistry:
         assert h.quantile(0.1) <= h.quantile(0.5) <= h.quantile(0.99) <= h.max
         assert h.mean == pytest.approx(h.sum / h.count)
 
+    def test_quantile_interpolates_within_the_covering_bucket(self):
+        # Regression pin: quantiles interpolate linearly between bucket
+        # bounds (clamped to observed min/max) instead of reporting the
+        # bucket's upper bound.
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.25)
+        assert h.quantile(0.5) == 0.25  # exactly the observation
+        uniform = MetricsRegistry().histogram("u")
+        for value in np.linspace(0.0, 1.0, 1001):
+            uniform.observe(float(value))
+        # On dense uniform data the interpolated estimate tracks the
+        # true quantile far inside any single bucket's width.
+        for q in (0.1, 0.25, 0.5, 0.9):
+            assert uniform.quantile(q) == pytest.approx(q, abs=0.05)
+        # Monotone in q, and the extremes clamp to observed min/max.
+        assert uniform.quantile(0.0) >= uniform.min
+        assert uniform.quantile(1.0) <= uniform.max
+
     def test_empty_histogram_quantiles_are_nan(self):
         # An empty histogram has no quantiles: NaN, deterministically,
         # so "no observations" is distinguishable from "observed zero".
@@ -602,6 +620,48 @@ class TestPrometheusExport:
         # Collected values (derived.* from the Counters adapter) export too.
         assert "repro_derived_sharing_factor" in text
         assert text.endswith("\n")
+
+    def test_type_lines_dedupe_when_names_collide(self):
+        # "a.b" and "a:b"... no -- colons are legal.  "a.b" and "a b"
+        # both mangle to repro_a_b; the page must carry one TYPE line.
+        registry = MetricsRegistry()
+        registry.inc("events.query admit")
+        registry.inc("events.query.admit")
+        text = registry.to_prometheus()
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(type_lines) == len(set(type_lines))
+        assert (
+            text.count("# TYPE repro_events_query_admit counter") == 1
+        )
+
+    def test_illegal_chars_mangled_and_leading_digit_guarded(self):
+        registry = MetricsRegistry()
+        registry.inc("99th.weird-metric")
+        text = registry.to_prometheus(prefix="")
+        assert "_99th_weird_metric 1" in text
+
+    def test_timeline_window_exports_rate_gauges(self):
+        from repro.obs import TimelineCollector
+
+        registry = MetricsRegistry()
+        timeline = TimelineCollector(registry, window_ticks=2)
+        registry.inc("events.service.submit", 6)
+        timeline.record_block(
+            {"random_page_reads": 4, "queries_completed": 8}
+        )
+        timeline.advance()
+        timeline.advance()
+        text = registry.to_prometheus(timeline=timeline)
+        assert "# TYPE repro_events_service_submit_rate gauge" in text
+        assert "repro_events_service_submit_rate 3" in text  # 6 over 2 ticks
+        assert "# TYPE repro_timeline_pages_per_tick gauge" in text
+        assert "repro_timeline_pages_per_tick 2" in text
+        assert "repro_timeline_sharing_factor 2" in text
+        # Without a closed window, no rate series appear.
+        empty = TimelineCollector(MetricsRegistry(), window_ticks=4)
+        assert "_rate" not in registry.to_prometheus(timeline=empty)
 
     def test_write_prometheus_file(self, vectors, tmp_path):
         observer = Observer()
