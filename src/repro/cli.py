@@ -213,14 +213,33 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_qtypes(args: argparse.Namespace, n: int) -> list:
+    """Query type per trace position: homogeneous k-NN, or mixed.
+
+    With ``--mix``, the trace alternates k-NN and range queries with
+    three cycling radii tuned to the demo mixture's cluster scale -- the
+    heterogeneous workload the v2 optimizer partitions by sharing.
+    """
+    from repro import knn_query, range_query
+
+    if not getattr(args, "mix", False):
+        return [knn_query(args.k)] * n
+    qtypes = []
+    for position in range(n):
+        if position % 2:
+            qtypes.append(knn_query(args.k))
+        else:
+            qtypes.append(range_query(0.12 * (1 + (position // 2) % 3)))
+    return qtypes
+
+
 def _drive_trace(scheduler, dataset, indices, args: argparse.Namespace) -> list:
     """Submit the deterministic round-robin client trace and drain.
 
     Each simulated client submits its queries in turn, with idle polls
     interleaved so the deadline rule exercises partially filled blocks.
     """
-    from repro import knn_query
-
+    qtypes = _trace_qtypes(args, args.clients * args.queries_per_client)
     tickets = []
     position = 0
     for _round in range(args.queries_per_client):
@@ -228,7 +247,7 @@ def _drive_trace(scheduler, dataset, indices, args: argparse.Namespace) -> list:
             tickets.append(
                 scheduler.submit(
                     dataset[indices[position]],
-                    knn_query(args.k),
+                    qtypes[position],
                     client_id=client,
                 )
             )
@@ -267,17 +286,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{len(fault_plan.sites)} site spec(s), "
             f"retry budget {fault_plan.retry.max_retries})"
         )
+    planner = None
+    if args.optimizer == "v2":
+        from repro.core.planner import QueryPlanner
+
+        # Probe a cost surface over the served access method and the
+        # batched engine so v2 partitions can pick engines per block.
+        planner = QueryPlanner(
+            dataset,
+            candidates=(args.access,),
+            engines=(None, "batched"),
+            observer=observer,
+        )
+        print(
+            f"optimizer v2: probed {len(planner.databases)} candidate(s), "
+            f"{planner.probes_skipped} skipped"
+        )
     scheduler = database.serve(
         block_target=args.block_target,
         max_block=args.max_block,
         max_wait=args.max_wait,
         order=args.order,
+        optimizer=args.optimizer,
+        planner=planner,
+        share_bound=args.share_bound,
     )
     if args.plan:
         from repro.core.planner import QueryPlanner
 
-        planner = QueryPlanner(dataset, candidates=(args.access,))
-        plan = planner.plan(
+        plan_planner = planner if planner is not None else QueryPlanner(
+            dataset, candidates=(args.access,)
+        )
+        plan = plan_planner.plan(
             args.clients * args.queries_per_client,
             knn_query(args.k),
             max_block_size=args.max_block,
@@ -330,6 +370,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for ticket in tickets:
         per_client[ticket.client_id] = per_client.get(ticket.client_id, 0) + 1
     print(f"  per-client completions: {sorted(per_client.values())}")
+    if args.optimizer == "v2":
+        counts = histograms.get("planner.partition.count")
+        sizes = histograms.get("planner.partition.size")
+        sharing = snapshot.get("gauges", {}).get(
+            "planner.partition.sharing_factor"
+        )
+        if counts and sizes:
+            print(
+                f"  v2 partitions: mean {counts['mean']:.2f} per flush, "
+                f"partition size mean {sizes['mean']:.2f} "
+                f"max {sizes['max']:.0f}"
+                + (
+                    f", predicted sharing {sharing:.2f}x"
+                    if sharing is not None
+                    else ""
+                )
+            )
     if database.prefilter is not None:
         _print_prefilter_stats(database.prefilter)
     exit_code = 0
@@ -421,6 +478,8 @@ def _report_serve_faults(
         max_block=args.max_block,
         max_wait=args.max_wait,
         order=args.order,
+        optimizer=args.optimizer,
+        share_bound=args.share_bound,
     )
     clean_tickets = _drive_trace(clean_scheduler, dataset, indices, args)
     mismatches = 0
@@ -440,6 +499,54 @@ def _report_serve_faults(
         f"recovered answers exact: {recovered}/{len(tickets)} tickets "
         f"byte-identical to the fault-free run"
     )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Dry-run the v2 optimizer: partitioning + predicted costs, no serve.
+
+    Builds the demo workload, probes the (query type, access method,
+    engine) cost surface, forms the :class:`BatchPlan` and prints it --
+    the planning half of ``serve --optimizer v2`` without executing a
+    single served query.
+    """
+    from repro.core.planner import QueryPlanner
+    from repro.obs import Observer
+    from repro.workloads import make_gaussian_mixture, sample_database_queries
+
+    dataset = make_gaussian_mixture(
+        n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
+    )
+    observer = Observer(trace=True)
+    candidates = tuple(args.candidates.split(","))
+    engines = tuple(
+        None if name in ("auto", "default") else name
+        for name in args.engines.split(",")
+    )
+    planner = QueryPlanner(
+        dataset,
+        candidates=candidates,
+        engines=engines,
+        probe_queries=args.probe_queries,
+        observer=observer,
+    )
+    for access, reason in planner.unavailable.items():
+        print(f"candidate {access!r} unavailable: {reason}")
+    indices = sample_database_queries(dataset, args.queries, seed=1)
+    qtypes = _trace_qtypes(args, args.queries)
+    objs = [dataset[i] for i in indices]
+    plan = planner.plan_batch(
+        objs,
+        qtypes,
+        max_block=args.max_block,
+        share_bound=args.share_bound,
+    )
+    print(plan.describe())
+    if planner.probes_skipped:
+        print(
+            f"probe cells skipped: {planner.probes_skipped} "
+            f"(see planner.probe.skipped events)"
+        )
     return 0
 
 
@@ -591,29 +698,39 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     import json
 
     from repro import knn_query
-    from repro.obs import Observer, build_cards, render_card
+    from repro.obs import Observer, build_cards, read_jsonl, render_card
     from repro.parallel import ParallelDatabase
     from repro.workloads import make_gaussian_mixture, sample_database_queries
 
-    dataset = make_gaussian_mixture(
-        n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
-    )
-    observer = Observer(trace=True)
-    with ParallelDatabase(
-        dataset,
-        n_servers=args.servers,
-        access=args.access,
-        observer=observer,
-    ) as database:
-        indices = sample_database_queries(dataset, args.queries, seed=1)
-        queries = [dataset[i] for i in indices]
-        database.multiple_similarity_query(
-            queries, knn_query(args.k), db_indices=indices, backend=args.backend
+    if args.from_trace:
+        # Explain a recorded run (e.g. ``repro serve --optimizer v2
+        # --trace FILE``): cards then carry the planner.plan partition
+        # each query was dispatched under.
+        records = read_jsonl(args.from_trace)
+    else:
+        dataset = make_gaussian_mixture(
+            n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
         )
-    if args.trace:
-        n = observer.write_trace(args.trace)
-        print(f"wrote {n} trace entries to {args.trace}", file=sys.stderr)
-    cards = build_cards(observer.tracer.records())
+        observer = Observer(trace=True)
+        with ParallelDatabase(
+            dataset,
+            n_servers=args.servers,
+            access=args.access,
+            observer=observer,
+        ) as database:
+            indices = sample_database_queries(dataset, args.queries, seed=1)
+            queries = [dataset[i] for i in indices]
+            database.multiple_similarity_query(
+                queries,
+                knn_query(args.k),
+                db_indices=indices,
+                backend=args.backend,
+            )
+        if args.trace:
+            n = observer.write_trace(args.trace)
+            print(f"wrote {n} trace entries to {args.trace}", file=sys.stderr)
+        records = observer.tracer.records()
+    cards = build_cards(records)
     if not cards:
         print("explain: the trace contains no queries", file=sys.stderr)
         return 2
@@ -814,6 +931,28 @@ def main(argv: list[str] | None = None) -> int:
         "block target",
     )
     serve.add_argument(
+        "--optimizer",
+        default="v1",
+        choices=["v1", "v2"],
+        help="v1: one knee-point block target; v2: partition each batch "
+        "by predicted sharing and dispatch each partition under its own "
+        "plan (per-partition engine and access method)",
+    )
+    serve.add_argument(
+        "--share-bound",
+        type=float,
+        default=None,
+        metavar="D",
+        help="v2 partition cut distance (default: derived per batch; "
+        "'inf' forces one partition, the v1-identical case)",
+    )
+    serve.add_argument(
+        "--mix",
+        action="store_true",
+        help="serve a heterogeneous trace (alternating k-NN and range "
+        "queries with cycling radii) instead of pure k-NN",
+    )
+    serve.add_argument(
         "--prefilter",
         action="store_true",
         help="enable the sketch-based page pre-filter tier for all "
@@ -873,6 +1012,47 @@ def main(argv: list[str] | None = None) -> int:
         help="write the SLO evaluation results as JSON (CI artifact)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    plan = subparsers.add_parser(
+        "plan",
+        help="dry-run the v2 optimizer: print batch partitioning and "
+        "predicted costs without serving",
+    )
+    plan.add_argument("--objects", type=int, default=15_000)
+    plan.add_argument(
+        "--queries", type=int, default=32, help="batch size to plan for"
+    )
+    plan.add_argument("-k", type=int, default=10, help="neighbours per k-NN query")
+    plan.add_argument(
+        "--candidates",
+        default="scan,xtree",
+        metavar="A,B,...",
+        help="comma-separated candidate access methods",
+    )
+    plan.add_argument(
+        "--engines",
+        default="auto,batched",
+        metavar="E,F,...",
+        help="comma-separated candidate engines ('auto' = the database "
+        "default)",
+    )
+    plan.add_argument("--max-block", type=int, default=32)
+    plan.add_argument(
+        "--share-bound",
+        type=float,
+        default=None,
+        metavar="D",
+        help="partition cut distance (default: derived from the batch)",
+    )
+    plan.add_argument("--probe-queries", type=int, default=8)
+    plan.add_argument(
+        "--mix",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="plan a mixed k-NN + range batch (default) or pure k-NN "
+        "(--no-mix)",
+    )
+    plan.set_defaults(func=_cmd_plan)
 
     report = subparsers.add_parser(
         "report", help="pretty-print a metrics snapshot and/or trace"
@@ -938,6 +1118,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="FILE",
         help="also write the merged trace as JSON Lines ('.gz' for gzip)",
+    )
+    explain.add_argument(
+        "--from-trace",
+        default=None,
+        metavar="FILE",
+        help="explain a recorded trace (e.g. from 'repro serve --trace') "
+        "instead of running a workload; serve traces carry the "
+        "optimizer-v2 plan per query",
     )
     explain.add_argument(
         "--json",

@@ -171,6 +171,9 @@ class Database:
         self.access_method: AccessMethod = factory(
             self.dataset, self.space, self.disk, **(index_options or {})
         )
+        #: Lazily built secondary access methods over the same dataset,
+        #: metric space, counters and disk (see :meth:`access_method_for`).
+        self._access_variants: dict[str, AccessMethod] = {}
         if buffer_fraction > 0:
             buffer_blocks = max(1, int(buffer_fraction * self.disk.total_blocks))
             self.disk.set_buffer_blocks(buffer_blocks)
@@ -213,9 +216,40 @@ class Database:
 
         self.observer = observer
         self.access_method.observer = observer
+        for variant in self._access_variants.values():
+            variant.observer = observer
         attach_counters(observer.metrics, self.counters)
         observer.metrics.register_collector(self._buffer_stats)
         return observer
+
+    def access_method_for(self, access: str | None) -> AccessMethod:
+        """The named access method over this database's pages.
+
+        ``None`` or the configured name returns the primary access
+        method; any other known name lazily builds (and caches) a
+        secondary structure over the *same* dataset, metric space,
+        counters and simulated disk, so a processor can run one block
+        through a different index without a second database.  Index
+        construction charges no query counters (building uses uncounted
+        distances), and page ids are unique across structures on one
+        disk, so the variants coexist in the shared LRU buffer exactly
+        like separate relations in one buffer pool.
+        """
+        if access is None or access == self.access_method.name:
+            return self.access_method
+        variant = self._access_variants.get(access)
+        if variant is None:
+            try:
+                factory = _ACCESS_METHODS[access]
+            except KeyError:
+                known = ", ".join(sorted(_ACCESS_METHODS))
+                raise ValueError(
+                    f"unknown access method {access!r}; known: {known}"
+                )
+            variant = factory(self.dataset, self.space, self.disk)
+            variant.observer = self.observer
+            self._access_variants[access] = variant
+        return variant
 
     def inject_faults(
         self, plan: Any, site: str = "server:0", policy: Any = None
@@ -324,6 +358,7 @@ class Database:
         warm_start: bool = False,
         matrix_mode: str = "eager",
         prefilter: Any = None,
+        access: str | None = None,
     ) -> Any:
         """Open a streaming :class:`~repro.service.QuerySession`.
 
@@ -331,6 +366,9 @@ class Database:
         ``submit``/``partial_answers``/``retire`` manage the buffer,
         ``stream`` yields the driver's answers incrementally as pages
         are processed, ``ask``/``run`` are the drained (batch) forms.
+        ``access`` runs the session through a secondary access method
+        (see :meth:`access_method_for`); engine and access method are
+        per-session -- i.e. per-block -- decisions, not database ones.
         """
         from repro.service.session import QuerySession
 
@@ -343,6 +381,7 @@ class Database:
             warm_start=warm_start,
             matrix_mode=matrix_mode,
             prefilter=prefilter,
+            access=access,
         )
 
     def serve(
@@ -353,6 +392,9 @@ class Database:
         max_queue: int = 256,
         order: str = "fifo",
         fits: Sequence[Any] | None = None,
+        optimizer: str = "v1",
+        planner: Any = None,
+        share_bound: float | None = None,
         **session_options: Any,
     ) -> Any:
         """Open a dynamic-batching :class:`~repro.service.QueryScheduler`.
@@ -361,7 +403,12 @@ class Database:
         scheduler forms multiple-query blocks automatically (Sec. 3.3)
         and flushes them through a shared session.  Pass the cost
         ``fits`` of a :class:`~repro.core.planner.QueryPlanner` probe to
-        install the knee-point block target.
+        install the knee-point block target.  ``optimizer="v2"``
+        partitions each admitted batch by predicted sharing and
+        dispatches every partition under its own
+        :class:`~repro.core.planner.BatchPlan` entry (per-partition
+        access method and engine); pass ``planner`` to price partitions
+        on a probed cost surface.
         """
         from repro.service.scheduler import QueryScheduler
 
@@ -373,6 +420,9 @@ class Database:
             max_queue=max_queue,
             order=order,
             fits=fits,
+            optimizer=optimizer,
+            planner=planner,
+            share_bound=share_bound,
             **session_options,
         )
 
@@ -394,12 +444,14 @@ class Database:
         use_avoidance: bool = True,
         db_indices: Sequence[int | None] | None = None,
         warm_start: bool = False,
+        engine: str | None = None,
     ) -> list[list[Answer]]:
         """Process M queries in consecutive blocks of ``block_size``.
 
         Passing ``db_indices`` (the dataset index of each query object)
         declares the queries to be database members and enables radius
-        seeding from the query-distance matrix.
+        seeding from the query-distance matrix.  ``engine`` overrides
+        the database's default page-processing engine for these blocks.
         """
         return run_in_blocks(
             self,
@@ -409,6 +461,7 @@ class Database:
             use_avoidance=use_avoidance,
             db_indices=db_indices,
             warm_start=warm_start,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------

@@ -267,6 +267,13 @@ class MultiQueryProcessor:
         directly.  In exact mode (the default) the filter replays
         provably empty pages instead of evaluating them, so answers and
         counters stay byte-identical to running without it.
+    access:
+        Access method serving this processor's page streams: ``None``
+        (the database's configured method) or any name accepted by
+        :meth:`~repro.core.database.Database.access_method_for`.  Makes
+        the access method a per-block decision: one database can serve
+        concurrent blocks through different index structures over the
+        same pages and counters.
     """
 
     def __init__(
@@ -282,9 +289,14 @@ class MultiQueryProcessor:
         matrix_mode: str = MATRIX_EAGER,
         observer: Any = None,
         prefilter: Any = None,
+        access: str | None = None,
     ):
         self.database = database
-        self.access = database.access_method
+        self.access = (
+            database.access_method
+            if access is None
+            else database.access_method_for(access)
+        )
         self.space = database.space
         self.disk = database.disk
         self.dataset = database.dataset
@@ -301,9 +313,15 @@ class MultiQueryProcessor:
         self.use_lemma1 = use_lemma1
         self.use_lemma2 = use_lemma2
         self.seed_from_queries = seed_from_queries
-        self.warm_start = warm_start and not database.access_method.sequential_data_access
+        self.warm_start = warm_start and not self.access.sequential_data_access
         if prefilter is None:
             prefilter = getattr(database, "prefilter", None)
+            if prefilter is not None and self.access is not database.access_method:
+                # The database's sketches cover only its primary access
+                # method's pages; a variant's page ids are unknown to
+                # them, so the inherited filter is disabled rather than
+                # silently mispriced.
+                prefilter = None
         elif prefilter is False:
             prefilter = None
         self.prefilter = prefilter

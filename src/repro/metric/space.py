@@ -85,5 +85,16 @@ class MetricSpace:
         """Distance evaluation outside any measured query (e.g. checks)."""
         return self.distance.one(a, b)
 
+    def uncounted_cross(self, xs: Any, qs: Any) -> np.ndarray:
+        """Cross-distance matrix outside any measured query.
+
+        Planning work (e.g. the optimizer's affinity partitioning) that
+        must not show up in the query cost counters, in one fused
+        kernel instead of ``len(xs) * len(qs)`` Python calls.
+        """
+        if len(xs) == 0 or len(qs) == 0:
+            return np.empty((len(xs), len(qs)), dtype=float)
+        return self.distance.cross(xs, qs)
+
     def __repr__(self) -> str:
         return f"MetricSpace({self.distance!r})"

@@ -81,6 +81,10 @@ class QueryCard:
     servers: list[int] = field(default_factory=list)
     #: ``ts`` of the first admission (buffer-relative ordering only).
     admitted_ts: float | None = None
+    #: Optimizer-v2 partition this query was planned into (from the
+    #: ``planner.plan`` event): ``{"partition", "size", "access",
+    #: "engine", "block_size", "predicted_ms_per_query", "sharing"}``.
+    plan: dict[str, Any] | None = None
 
     @property
     def engine_seconds(self) -> float:
@@ -110,6 +114,7 @@ class QueryCard:
             "avoidance_rate": self.avoidance_rate,
             "first_answer": self.first_answer,
             "servers": self.servers,
+            "plan": self.plan,
         }
 
 
@@ -196,6 +201,25 @@ def build_cards(records: Sequence[dict[str, Any]]) -> dict[str, QueryCard]:
     for record in records:
         name = record.get("name")
         attrs = record.get("attrs", {})
+        if name == "planner.plan":
+            # Optimizer-v2 partition assignments carry all their member
+            # queries in one event; fan the plan out to each card.
+            plan = {
+                key: attrs.get(key)
+                for key in (
+                    "partition",
+                    "size",
+                    "access",
+                    "engine",
+                    "block_size",
+                    "predicted_ms_per_query",
+                    "sharing",
+                )
+            }
+            for member in str(attrs.get("queries", "")).split("|"):
+                if member:
+                    card(member).plan = plan
+            continue
         label = attrs.get("query")
         if label is None:
             continue
@@ -287,6 +311,20 @@ def render_card(card: QueryCard) -> str:
         f"  wall: drive {card.drive_seconds * 1e3:.3f} ms"
         f"  (engine kernels {card.engine_seconds * 1e3:.3f} ms)  on {where}"
     )
+    if card.plan is not None:
+        plan = card.plan
+        predicted = plan.get("predicted_ms_per_query")
+        predicted_text = (
+            f"{predicted:.3f} ms/query" if predicted is not None else "?"
+        )
+        sharing = plan.get("sharing")
+        sharing_text = f"{sharing:.2f}x" if sharing is not None else "?"
+        lines.append(
+            f"  plan: partition {plan.get('partition')}"
+            f" (size {plan.get('size')})  access={plan.get('access')}"
+            f" engine={plan.get('engine')} block={plan.get('block_size')}"
+            f"  predicted {predicted_text}, sharing {sharing_text}"
+        )
     if card.first_answer is not None:
         first = card.first_answer
         seconds = first.get("seconds")

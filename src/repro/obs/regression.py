@@ -206,6 +206,32 @@ def entries_from_prefilter(result: Mapping[str, Any]) -> dict[str, dict]:
     return entries
 
 
+def entries_from_optimizer(result: Mapping[str, Any]) -> dict[str, dict]:
+    """Convert a ``BENCH_optimizer.json`` payload into store entries.
+
+    One entry per optimizer mode (``v1``, ``v2``).  Counters are
+    recorded for both; wall-clock carries the throughput headline, and
+    the v2-vs-v1 speedup plus the identity-sweep verdict (v2 forced to
+    one partition must match v1 byte-for-byte across every access
+    method x engine cell) ride along as metadata.
+    """
+    entries: dict[str, dict] = {}
+    for row in result.get("rows", []):
+        entries[f"optimizer/{row['mode']}"] = make_entry(
+            row["seconds"],
+            counters=row.get("counters"),
+            meta={
+                "n_objects": result.get("n_objects"),
+                "n_queries": result.get("n_queries"),
+                "speedup_vs_v1": row.get("speedup_vs_v1"),
+                "queries_per_second": row.get("queries_per_second"),
+                "partitions_mean": row.get("partitions_mean"),
+                "identity_cells": result.get("identity_cells"),
+            },
+        )
+    return entries
+
+
 def entries_from_bench_file(path: str) -> dict[str, dict]:
     """Convert a committed ``BENCH_*.json`` file, dispatching on its kind."""
     with open(path) as handle:
@@ -221,6 +247,8 @@ def entries_from_bench_file(path: str) -> dict[str, dict]:
         return entries_from_faults(result)
     if kind == "prefilter":
         return entries_from_prefilter(result)
+    if kind == "optimizer":
+        return entries_from_optimizer(result)
     raise ValueError(f"unknown benchmark kind {kind!r} in {path!r}")
 
 

@@ -21,6 +21,8 @@ Entry points: ``Database.session()`` and ``Database.serve()``.
 """
 
 from repro.service.scheduler import (
+    OPTIMIZER_V1,
+    OPTIMIZER_V2,
     ORDER_AFFINITY,
     ORDER_FIFO,
     QueryScheduler,
@@ -40,6 +42,8 @@ from repro.service.session import (
 __all__ = [
     "AnswerEvent",
     "DegradedAnswerEvent",
+    "OPTIMIZER_V1",
+    "OPTIMIZER_V2",
     "ORDER_AFFINITY",
     "ORDER_FIFO",
     "QueryCompleted",

@@ -40,6 +40,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Mapping, Sequence
 
 from repro.core.answers import Answer
+from repro.core.planner import (
+    DEFAULT_KNEE_TOLERANCE as _DEFAULT_KNEE_TOLERANCE,
+)
+from repro.core.planner import knee_block_size
 from repro.core.types import QueryType
 from repro.faults.errors import FaultError
 from repro.obs.audit import PlanAudit
@@ -50,37 +54,31 @@ from repro.service.session import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.planner import CostFit
+    from repro.core.planner import CostFit, PartitionPlan
 
 ORDER_FIFO = "fifo"
 ORDER_AFFINITY = "affinity"
 
-#: Relative slack used for the knee-point block target: the smallest
-#: block size whose predicted per-query cost is within this fraction of
-#: the cost at the maximum block size.
-DEFAULT_KNEE_TOLERANCE = 0.1
+#: Optimizer modes: v1 is the paper's single knee-point batcher (one
+#: block target, one engine, one access method); v2 partitions each
+#: admitted batch by predicted sharing and dispatches every partition
+#: under its own :class:`~repro.core.planner.BatchPlan` entry.
+OPTIMIZER_V1 = "v1"
+OPTIMIZER_V2 = "v2"
+
+#: Relative slack used for the knee-point block target (re-exported
+#: from :mod:`repro.core.planner`, where the knee computation lives).
+DEFAULT_KNEE_TOLERANCE = _DEFAULT_KNEE_TOLERANCE
+
+#: Hysteresis threshold for anomaly back-off release: after an anomaly
+#: halved the block target, a knee-point refit may only *raise* it
+#: again once the ``planner.calibration_drift`` EWMA has been observed
+#: (on at least one post-back-off audited block) below this ratio.
+DEFAULT_DRIFT_RECOVERY = 1.5
 
 #: Bucket bounds of the ``service.completeness`` histogram (a fraction
 #: in [0, 1], not a latency; the SLO engine reads its buckets).
 COMPLETENESS_BOUNDS: tuple[float, ...] = tuple(k / 20 for k in range(21))
-
-
-def knee_block_size(
-    fit: "CostFit", max_block: int, tolerance: float = DEFAULT_KNEE_TOLERANCE
-) -> int:
-    """Smallest block size within ``tolerance`` of the asymptotic cost.
-
-    The fitted per-query cost ``shared/m + marginal`` decreases
-    monotonically in m with diminishing returns; batching beyond the
-    knee buys almost nothing but costs every client queueing delay.
-    """
-    if max_block < 1:
-        raise ValueError("max block size must be positive")
-    asymptote = fit.per_query(max_block)
-    for m in range(1, max_block + 1):
-        if fit.per_query(m) <= asymptote * (1.0 + tolerance):
-            return m
-    return max_block
 
 
 def recommend_access(fits: Sequence["CostFit"], block_size: int) -> str:
@@ -148,6 +146,29 @@ class QueryScheduler:
         Optional :class:`~repro.core.planner.CostFit` sequence from a
         probe run; installs the knee-point block target and the access
         recommendation (see :meth:`replan`).
+    optimizer:
+        ``"v1"`` (one knee-point block target, one engine and access
+        method for every block) or ``"v2"`` (each flushed batch is
+        partitioned by predicted sharing and every partition dispatched
+        under its own plan -- access method, engine and block size are
+        per-partition decisions).  For any fixed partition assignment
+        the executed work is identical to v1: a v2 flush that forms a
+        single default partition is answer- and counter-byte-identical
+        to the v1 flush of the same batch.
+    planner:
+        Optional :class:`~repro.core.planner.QueryPlanner`; with
+        ``optimizer="v2"`` its probed cost surface prices each partition
+        (:meth:`~repro.core.planner.QueryPlanner.plan_batch`).  Without
+        one, v2 still partitions by sharing but keeps the scheduler's
+        default access method and engine.
+    share_bound:
+        Distance bound cutting the v2 affinity chain into partitions
+        (``None`` derives it per batch from the batch's own distance
+        scale; ``math.inf`` forces one partition -- the v1-identical
+        degenerate case).
+    drift_recovery:
+        Hysteresis threshold for anomaly back-off release (see
+        :data:`DEFAULT_DRIFT_RECOVERY`).
     session_options:
         Extra keyword arguments for the underlying
         :class:`~repro.service.session.QuerySession` (engine,
@@ -164,10 +185,16 @@ class QueryScheduler:
         order: str = ORDER_FIFO,
         fits: Sequence["CostFit"] | None = None,
         knee_tolerance: float = DEFAULT_KNEE_TOLERANCE,
+        optimizer: str = OPTIMIZER_V1,
+        planner: Any = None,
+        share_bound: float | None = None,
+        drift_recovery: float = DEFAULT_DRIFT_RECOVERY,
         **session_options: Any,
     ):
         if order not in (ORDER_FIFO, ORDER_AFFINITY):
             raise ValueError(f"unknown scheduling order {order!r}")
+        if optimizer not in (OPTIMIZER_V1, OPTIMIZER_V2):
+            raise ValueError(f"unknown optimizer {optimizer!r}")
         if max_block < 1:
             raise ValueError("max block size must be positive")
         if block_target < 1:
@@ -183,6 +210,10 @@ class QueryScheduler:
         self.max_queue = max_queue
         self.order = order
         self.knee_tolerance = knee_tolerance
+        self.optimizer = optimizer
+        self.planner = planner
+        self.share_bound = share_bound
+        self.drift_recovery = drift_recovery
         self.tick = 0
         self.recommended_access: str | None = None
         self._queue: list[Ticket] = []
@@ -194,9 +225,17 @@ class QueryScheduler:
         self._fits: list["CostFit"] | None = None
         #: Block-target halvings triggered by anomaly firings.
         self.anomaly_replans = 0
+        #: Hysteresis state: ``True`` between an anomaly halving and the
+        #: first audited evidence that calibration drift recovered.
+        self._anomaly_backoff = False
+        self._backoff_blocks = 0
         #: Plan-vs-actual audit, armed by :meth:`replan` when cost fits
         #: are supplied (see :mod:`repro.obs.audit`).
         self.audit: PlanAudit | None = None
+        #: Per-plan sessions keyed by (engine, access) overrides; the
+        #: default plan reuses :attr:`session`.
+        self._session_options = dict(session_options)
+        self._sessions: dict[tuple[str | None, str | None], QuerySession] = {}
         if self.observer is not None:
             # Publish the gauge up front so a fault-free serving episode
             # still reports "0 degraded sessions" rather than nothing.
@@ -255,9 +294,25 @@ class QueryScheduler:
             # cost, so the knee lands where the *measured* amortisation
             # flattens, not where the stale probe said it would.
             fit = self.audit.calibrated(fit)
-        self.block_target = knee_block_size(
-            fit, self.max_block, self.knee_tolerance
-        )
+        target = knee_block_size(fit, self.max_block, self.knee_tolerance)
+        if self._anomaly_backoff and target > self.block_target:
+            # Hysteresis against halving/refit oscillation: an anomaly
+            # halved the target, so a refit may only raise it again once
+            # at least one *post-back-off* block has been audited and the
+            # calibration-drift EWMA sits below the recovery threshold.
+            # Until then the refit keeps the backed-off target.
+            audit = self.audit
+            recovered = (
+                audit is not None
+                and audit.blocks_audited > self._backoff_blocks
+                and audit.drift_seconds is not None
+                and audit.drift_seconds < self.drift_recovery
+            )
+            if recovered:
+                self._anomaly_backoff = False
+            else:
+                target = self.block_target
+        self.block_target = target
         self.recommended_access = recommend_access(fits, self.block_target)
         cost_model = getattr(self.database, "cost_model", None)
         if self.audit is None and cost_model is not None:
@@ -288,6 +343,10 @@ class QueryScheduler:
             return
         self.anomaly_replans += 1
         self.block_target = max(1, self.block_target // 2)
+        self._anomaly_backoff = True
+        self._backoff_blocks = (
+            self.audit.blocks_audited if self.audit is not None else 0
+        )
         if self.observer is not None:
             self.observer.metrics.inc("service.replan.anomaly")
             self.observer.event(
@@ -421,15 +480,162 @@ class QueryScheduler:
             chain.append(remaining.pop(nearest))
         return chain
 
+    def _fallback_fit(self) -> "CostFit | None":
+        """The remembered fit pricing planner-less v2 partitions."""
+        fits = self._fits
+        if not fits:
+            return None
+        current = self.database.access_method.name
+        own = [fit for fit in fits if fit.access == current]
+        fit = own[0] if own else min(
+            fits, key=lambda f: f.per_query(self.max_block)
+        )
+        if self.audit is not None and self.audit.blocks_audited:
+            fit = self.audit.calibrated(fit)
+        return fit
+
+    def _plan_partitions(
+        self, raw: list[Ticket]
+    ) -> list[tuple[list[Ticket], "PartitionPlan"]]:
+        """Form the v2 batch plan for one flushed batch.
+
+        With a planner attached, the partitions are priced on its
+        probed cost surface (per-partition access method and engine);
+        without one, the batch is still partitioned by sharing but every
+        partition keeps the scheduler's defaults, priced by the
+        remembered replan fits when available.  Partition membership is
+        decided here; *ordering within* a partition stays
+        :meth:`_order_batch`'s job, so a single-partition v2 flush
+        executes exactly the v1 work.
+        """
+        from repro.core.multi_query import query_label
+        from repro.core.planner import (
+            BatchPlan,
+            PartitionPlan,
+            partition_by_sharing,
+        )
+
+        objs = [t.obj for t in raw]
+        qtypes = [t.qtype for t in raw]
+        if self.planner is not None:
+            plan = self.planner.plan_batch(
+                objs,
+                qtypes,
+                max_block=self.max_block,
+                share_bound=self.share_bound,
+            )
+        else:
+            groups = partition_by_sharing(
+                objs,
+                self.database.space,
+                share_bound=self.share_bound,
+                max_partition=self.max_block,
+            )
+            fit = self._fallback_fit()
+            parts = []
+            total = 0.0
+            for members in groups:
+                m = len(members)
+                predicted = fit.per_query(m) if fit is not None else 0.0
+                sharing = fit.sharing_factor(m) if fit is not None else 1.0
+                part = PartitionPlan(
+                    members=tuple(members),
+                    access=None,
+                    engine=None,
+                    block_size=m,
+                    prefilter=getattr(self.database, "prefilter", None)
+                    is not None,
+                    predicted_seconds_per_query=predicted,
+                    sharing_factor=sharing,
+                )
+                parts.append(part)
+                total += part.predicted_seconds
+            plan = BatchPlan(partitions=tuple(parts), predicted_seconds=total)
+        observer = self.observer
+        if observer is not None:
+            observer.metrics.observe(
+                "planner.partition.count", float(len(plan.partitions))
+            )
+            mean_sharing = sum(
+                p.sharing_factor * p.size for p in plan.partitions
+            ) / max(1, plan.n_queries)
+            observer.metrics.set_gauge(
+                "planner.partition.sharing_factor", mean_sharing
+            )
+        default_access = self.database.access_method.name
+        default_engine = self.session.processor.engine_name
+        result: list[tuple[list[Ticket], "PartitionPlan"]] = []
+        for index, part in enumerate(plan.partitions):
+            tickets = self._order_batch([raw[i] for i in part.members])
+            if observer is not None:
+                observer.metrics.observe(
+                    "planner.partition.size", float(len(tickets))
+                )
+                observer.event(
+                    "planner.plan",
+                    block=self._n_flushed_blocks - 1,
+                    partition=index,
+                    size=len(tickets),
+                    access=part.access or default_access,
+                    engine=part.engine or default_engine,
+                    block_size=part.block_size,
+                    predicted_ms_per_query=(
+                        part.predicted_seconds_per_query * 1000.0
+                    ),
+                    sharing=round(part.sharing_factor, 3),
+                    queries="|".join(
+                        query_label(t.key) for t in tickets
+                    ),
+                )
+            result.append((tickets, part))
+        return result
+
+    def _session_for(self, plan: "PartitionPlan | None") -> QuerySession:
+        """The session matching a partition plan's engine and access.
+
+        The default plan (no overrides, or overrides equal to the
+        scheduler's own defaults) reuses the shared :attr:`session`;
+        other (engine, access) pairs get one lazily created session
+        each, cached for the scheduler's lifetime.  Sessions retire all
+        their keys at the end of every partition, so reuse is
+        counter-equivalent to fresh sessions.
+        """
+        if plan is None:
+            return self.session
+        engine = plan.engine
+        if engine == self.session.processor.engine_name:
+            engine = None
+        access = plan.access
+        if access == self.database.access_method.name:
+            access = None
+        if engine is None and access is None:
+            return self.session
+        key = (engine, access)
+        session = self._sessions.get(key)
+        if session is None:
+            options = dict(self._session_options)
+            if engine is not None:
+                options["engine"] = engine
+            session = QuerySession(self.database, access=access, **options)
+            self._sessions[key] = session
+        return session
+
     def _flush_block(self) -> None:
-        """Run one block of waiting tickets through the session.
+        """Run one block of waiting tickets through its session(s).
 
         Exactly the repeated-call pattern of ``query_all`` -- the first
         call streamed (recording time-to-first-answer), the rest drained
         -- so the answers match ``run_in_blocks`` on the same grouping,
         answer for answer and counter for counter.
 
-        When an unrecoverable fault aborts the block, the remaining
+        Under ``optimizer="v1"`` the whole batch is one partition on the
+        shared session.  Under ``"v2"`` the batch is first partitioned
+        by predicted sharing (:meth:`_plan_partitions`); each partition
+        runs -- in order of its oldest member, so the FIFO fairness
+        guarantee survives the re-grouping -- on a session matching its
+        plan's engine and access method, with its own audit window.
+
+        When an unrecoverable fault aborts a partition, its remaining
         tickets are completed *degraded*: partial answers from the
         Def. 4 buffer, a completeness bound, and the
         ``service.degraded_sessions`` gauge bumped -- clients always get
@@ -440,37 +646,77 @@ class QueryScheduler:
         injector = getattr(self.database, "fault_injector", None)
         if injector is not None:
             injector.begin_block()
-        batch = self._order_batch(self._queue[: self.max_block])
-        del self._queue[: min(self.max_block, len(self._queue))]
-        session = self.session
+        raw = self._queue[: self.max_block]
+        del self._queue[: len(raw)]
         observer = self.observer
         self._n_flushed_blocks += 1
+        if observer is not None:
+            observer.event(
+                "service.flush",
+                block=self._n_flushed_blocks - 1,
+                size=len(raw),
+                tick=self.tick,
+                waited=self.tick - raw[0].submitted_tick,
+            )
+            observer.metrics.observe(
+                "service.batch_occupancy", float(len(raw))
+            )
+            observer.metrics.set_gauge(
+                "service.queue_depth", float(len(self._queue))
+            )
+        timeline = observer.timeline if observer is not None else None
+        if timeline is not None:
+            timeline_base = self.database.counters.copy()
+        if self.optimizer == OPTIMIZER_V2:
+            partitions = self._plan_partitions(raw)
+        else:
+            partitions = [(self._order_batch(raw), None)]
+        for batch, plan in partitions:
+            session = self._session_for(plan)
+            audit = self.audit
+            if audit is not None:
+                audit.begin_block(self.database.counters)
+            degraded_events, degraded_reason = self._execute_batch(
+                batch, session
+            )
+            if degraded_reason is not None:
+                self._degrade_batch(
+                    batch, degraded_events, degraded_reason, session
+                )
+            elif audit is not None:
+                # Degraded partitions are excluded: their counter delta
+                # covers only the work done before the fault, which
+                # would read as a spurious "plan too expensive" signal.
+                audit.end_block(self.database.counters, len(batch))
+            for ticket in batch:
+                session.retire(ticket.key)
+        if timeline is not None:
+            # Degraded blocks are included here, unlike the audit: the
+            # timeline records what the block actually cost, and a
+            # collapsed window is exactly the signal the anomaly rules
+            # watch for.
+            timeline.record_block(
+                self.database.counters.diff(timeline_base).as_dict()
+            )
+            firings = timeline.drain_anomalies()
+            if firings:
+                self.replan(anomalies=firings)
+
+    def _execute_batch(
+        self, batch: list[Ticket], session: QuerySession
+    ) -> tuple[dict[Hashable, DegradedAnswerEvent], str | None]:
+        """Run one ordered partition through ``session``, filling tickets.
+
+        Returns the degraded-answer events and fault reason (``None``
+        when every ticket completed exactly).
+        """
+        observer = self.observer
         objs = [t.obj for t in batch]
         qtypes = [t.qtype for t in batch]
         keys = [t.key for t in batch]
         db_indices: list[int | None] | None = [t.db_index for t in batch]
         if all(index is None for index in db_indices):
             db_indices = None
-        if observer is not None:
-            observer.event(
-                "service.flush",
-                block=self._n_flushed_blocks - 1,
-                size=len(batch),
-                tick=self.tick,
-                waited=self.tick - batch[0].submitted_tick,
-            )
-            observer.metrics.observe(
-                "service.batch_occupancy", float(len(batch))
-            )
-            observer.metrics.set_gauge(
-                "service.queue_depth", float(len(self._queue))
-            )
-        audit = self.audit
-        if audit is not None:
-            audit.begin_block(self.database.counters)
-        timeline = observer.timeline if observer is not None else None
-        if timeline is not None:
-            timeline_base = self.database.counters.copy()
         degraded_events: dict[Hashable, DegradedAnswerEvent] = {}
         degraded_reason: str | None = None
         for position, ticket in enumerate(batch):
@@ -512,35 +758,18 @@ class QueryScheduler:
                     "service.wait.ticks",
                     float(self.tick - ticket.submitted_tick),
                 )
-        if degraded_reason is not None:
-            self._degrade_batch(batch, degraded_events, degraded_reason)
-        elif audit is not None:
-            # Degraded blocks are excluded: their counter delta covers
-            # only the work done before the fault, which would read as
-            # a spurious "plan too expensive" signal.
-            audit.end_block(self.database.counters, len(batch))
-        if timeline is not None:
-            # Degraded blocks are included here, unlike the audit: the
-            # timeline records what the block actually cost, and a
-            # collapsed window is exactly the signal the anomaly rules
-            # watch for.
-            timeline.record_block(
-                self.database.counters.diff(timeline_base).as_dict()
-            )
-            firings = timeline.drain_anomalies()
-            if firings:
-                self.replan(anomalies=firings)
-        for ticket in batch:
-            session.retire(ticket.key)
+        return degraded_events, degraded_reason
 
     def _degrade_batch(
         self,
         batch: list[Ticket],
         events: dict[Hashable, DegradedAnswerEvent],
         reason: str,
+        session: QuerySession | None = None,
     ) -> None:
         """Complete the unfinished tickets of a faulted block, degraded."""
-        session = self.session
+        if session is None:
+            session = self.session
         observer = self.observer
         injector = getattr(self.database, "fault_injector", None)
         self._n_degraded_sessions += 1

@@ -158,6 +158,7 @@ class QuerySession:
         matrix_mode: str = "eager",
         observer: Any = None,
         prefilter: Any = None,
+        access: str | None = None,
     ):
         kwargs = {} if max_pivots is None else {"max_pivots": max_pivots}
         self.database = database
@@ -170,6 +171,7 @@ class QuerySession:
             matrix_mode=matrix_mode,
             observer=observer,
             prefilter=prefilter,
+            access=access,
             **kwargs,
         )
         self.observer = self.processor.observer

@@ -1,13 +1,22 @@
 """Tests for the query planner, platform calibration and matrix modes."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro import Database, knn_query
+from repro import Database, knn_query, range_query
 from repro.core.multi_query import MultiQueryProcessor, _SlotMatrix
-from repro.core.planner import CostFit, QueryPlanner
+from repro.core.planner import (
+    CostFit,
+    QueryPlanner,
+    default_share_bound,
+    knee_block_size,
+    partition_by_sharing,
+)
 from repro.costmodel import CostModel, calibrated_cost_model, measure_platform
 from repro.metric import MetricSpace
+from repro.obs import Observer
 from repro.workloads import make_gaussian_mixture
 
 
@@ -197,3 +206,131 @@ class TestMatrixModes:
             counts[mode] = handle.counters.query_matrix_distance_calculations
         assert counts["lazy"] <= counts["eager"]
         assert counts["eager"] == len(queries) * (len(queries) - 1) // 2
+
+
+class TestPartitionBySharing:
+    def _objs(self):
+        # Two tight clumps far apart, admission order interleaved.
+        return [
+            np.array([0.0, 0.0]),
+            np.array([10.0, 10.0]),
+            np.array([0.1, 0.0]),
+            np.array([10.1, 10.0]),
+        ]
+
+    def test_infinite_bound_forces_one_partition(self):
+        space = MetricSpace("euclidean")
+        groups = partition_by_sharing(self._objs(), space, share_bound=math.inf)
+        assert groups == [[0, 1, 2, 3]]
+
+    def test_zero_bound_forces_singletons(self):
+        space = MetricSpace("euclidean")
+        groups = partition_by_sharing(self._objs(), space, share_bound=0.0)
+        assert groups == [[0], [1], [2], [3]]
+
+    def test_default_bound_groups_the_clumps(self):
+        space = MetricSpace("euclidean")
+        groups = partition_by_sharing(self._objs(), space)
+        assert sorted(groups) == [[0, 2], [1, 3]]
+
+    def test_seed_is_oldest_and_members_stay_sorted(self):
+        space = MetricSpace("euclidean")
+        groups = partition_by_sharing(self._objs(), space)
+        # FIFO: the first partition is seeded by position 0, the next by
+        # the oldest remaining (position 1); members in admission order.
+        assert groups[0] == [0, 2]
+        assert groups[1] == [1, 3]
+
+    def test_max_partition_caps_group_size(self):
+        space = MetricSpace("euclidean")
+        objs = [np.array([0.0, float(i) * 0.01]) for i in range(6)]
+        groups = partition_by_sharing(objs, space, max_partition=2)
+        assert all(len(g) <= 2 for g in groups)
+        assert sorted(i for g in groups for i in g) == list(range(6))
+
+    def test_empty_and_single(self):
+        space = MetricSpace("euclidean")
+        assert partition_by_sharing([], space) == []
+        assert partition_by_sharing([np.zeros(2)], space) == [[0]]
+
+    def test_default_share_bound_degenerate_scales(self):
+        space = MetricSpace("euclidean")
+        assert default_share_bound([np.zeros(2)], space) == math.inf
+        identical = [np.zeros(2) for _ in range(4)]
+        assert default_share_bound(identical, space) == math.inf
+
+    def test_knee_block_size_reexported_by_service(self):
+        from repro.service import knee_block_size as service_knee
+
+        assert service_knee is knee_block_size
+
+
+class TestPlanBatch:
+    @pytest.fixture(scope="class")
+    def planner(self, clustered):
+        return QueryPlanner(clustered, probe_queries=4, seed=1)
+
+    def test_partitions_cover_batch_exactly_once(self, planner, clustered):
+        objs = [clustered[i] for i in range(0, 160, 10)]
+        plan = planner.plan_batch(objs, knn_query(3), max_block=8)
+        members = sorted(i for p in plan.partitions for i in p.members)
+        assert members == list(range(len(objs)))
+        assert all(p.block_size <= 8 for p in plan.partitions)
+        assert plan.n_queries == len(objs)
+        assert "partition" in plan.describe()
+
+    def test_forced_single_partition(self, planner, clustered):
+        objs = [clustered[i] for i in range(12)]
+        plan = planner.plan_batch(
+            objs, knn_query(3), max_block=16, share_bound=math.inf
+        )
+        assert len(plan.partitions) == 1
+        assert plan.partitions[0].members == tuple(range(12))
+
+    def test_kinds_never_share_a_partition(self, planner, clustered):
+        objs = [clustered[i] for i in range(16)]
+        qtypes = [
+            knn_query(3) if i % 2 else range_query(0.2 + 0.1 * (i % 3))
+            for i in range(16)
+        ]
+        plan = planner.plan_batch(objs, qtypes, max_block=16)
+        for part in plan.partitions:
+            kinds = {qtypes[i].kind for i in part.members}
+            assert len(kinds) == 1
+
+    def test_partition_plans_name_access_and_engine_cell(self, planner, clustered):
+        objs = [clustered[i] for i in range(8)]
+        plan = planner.plan_batch(objs, knn_query(3), max_block=8)
+        for part in plan.partitions:
+            assert part.access in ("scan", "xtree")
+            assert part.predicted_seconds_per_query > 0.0
+            assert part.sharing_factor >= 1.0
+
+    def test_probe_cache_probes_each_cell_once(self, clustered):
+        planner = QueryPlanner(clustered, probe_queries=4, seed=1)
+        first = planner.fit_surface(knn_query(3))
+        cells = len(planner._fit_cache)
+        again = planner.fit_surface(knn_query(3))
+        assert len(planner._fit_cache) == cells
+        assert first == again
+
+    def test_unbuildable_candidate_skipped_with_event(self, clustered):
+        observer = Observer(trace=True)
+        planner = QueryPlanner(
+            clustered,
+            metric="manhattan",
+            candidates=("xtree", "vafile"),
+            probe_queries=4,
+            observer=observer,
+        )
+        assert "vafile" in planner.unavailable
+        planner.fit_surface(knn_query(3))
+        assert planner.probes_skipped >= 1
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters.get("events.planner.probe.skipped", 0) >= 1
+        # the skip is cached: re-probing does not re-emit
+        planner.fit_surface(knn_query(3))
+        after = observer.metrics.snapshot()["counters"]
+        assert after["events.planner.probe.skipped"] == counters[
+            "events.planner.probe.skipped"
+        ]

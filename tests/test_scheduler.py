@@ -9,7 +9,7 @@ block path, and traced==untraced identity across every access method.
 import numpy as np
 import pytest
 
-from repro import Database, knn_query
+from repro import Database, knn_query, range_query
 from repro.core.planner import CostFit
 from repro.obs import Observer
 from repro.service import (
@@ -256,3 +256,168 @@ class TestServiceMetrics:
         assert hists["service.wait.ticks"]["count"] == 16
         assert hists["service.time_to_first_answer.seconds"]["count"] >= 4
         assert snapshot["gauges"]["service.queue_depth"] == 0.0
+
+
+def mixed_trace(vectors, n_clients=4, per_client=4):
+    """Heterogeneous round-robin trace: kNN and diverse-radius range."""
+    kinds = [knn_query(5), range_query(0.3), knn_query(3), range_query(0.5)]
+    trace = []
+    position = 0
+    for _ in range(per_client):
+        for client in range(n_clients):
+            trace.append(
+                (
+                    client,
+                    vectors[position * 7 % len(vectors)],
+                    kinds[position % len(kinds)],
+                )
+            )
+            position += 1
+    return trace
+
+
+class TestReplanHysteresis:
+    """Satellite 1: no block-target oscillation after an anomaly halving."""
+
+    FITS = [CostFit(access="xtree", shared_seconds=1.0, marginal_seconds=0.1)]
+    FIRING = [{"rule": "latency_collapse", "replan": True}]
+
+    def _scheduler(self, vectors):
+        scheduler = make_db(vectors, "xtree").serve(block_target=8, max_block=32)
+        scheduler.replan(self.FITS)
+        return scheduler, scheduler.block_target
+
+    def test_anomaly_halves_and_refit_does_not_reraise(self, vectors):
+        scheduler, knee = self._scheduler(vectors)
+        scheduler.replan(anomalies=self.FIRING)
+        halved = scheduler.block_target
+        assert halved == max(1, knee // 2)
+        # A refit alone must NOT re-raise the target: no post-back-off
+        # block has been audited yet (this was the oscillation bug).
+        scheduler.replan(self.FITS)
+        assert scheduler.block_target == halved
+
+    def test_unrecovered_drift_keeps_backed_off_target(self, vectors):
+        scheduler, _ = self._scheduler(vectors)
+        scheduler.replan(anomalies=self.FIRING)
+        halved = scheduler.block_target
+        scheduler.audit.blocks_audited += 1  # a post-back-off block...
+        scheduler.audit.drift_seconds = 5.0  # ...but drift still high
+        scheduler.replan(self.FITS)
+        assert scheduler.block_target == halved
+
+    def test_recovered_drift_releases_the_backoff(self, vectors):
+        scheduler, knee = self._scheduler(vectors)
+        scheduler.replan(anomalies=self.FIRING)
+        scheduler.audit.blocks_audited += 1
+        scheduler.audit.drift_seconds = 1.0  # below DEFAULT_DRIFT_RECOVERY
+        scheduler.replan(self.FITS)
+        assert scheduler.block_target == knee
+
+    def test_repeated_anomaly_and_refit_never_oscillates(self, vectors):
+        scheduler, _ = self._scheduler(vectors)
+        scheduler.replan(anomalies=self.FIRING)
+        floor = scheduler.block_target
+        scheduler.audit.drift_seconds = 5.0
+        for _ in range(4):
+            scheduler.replan(self.FITS)
+            assert scheduler.block_target == floor
+            scheduler.replan(anomalies=self.FIRING)
+            floor = scheduler.block_target
+        assert floor == 1  # monotone decay, never a re-raise in between
+
+
+class TestHeterogeneousBatches:
+    """Satellite 3: mixed query kinds through every partitioning mode."""
+
+    def reference_answers(self, vectors, trace):
+        db = make_db(vectors)
+        return [
+            as_tuples(db.similarity_query(obj, qtype))
+            for (_, obj, qtype) in trace
+        ]
+
+    @pytest.mark.parametrize("order", [ORDER_FIFO, ORDER_AFFINITY])
+    def test_v1_orders_answer_identity_and_fairness(self, vectors, order):
+        trace = mixed_trace(vectors)
+        reference = self.reference_answers(vectors, trace)
+        scheduler = make_db(vectors).serve(block_target=4, order=order)
+        tickets = scheduler.serve(trace)
+        assert [as_tuples(t.answers) for t in tickets] == reference
+        completions = {}
+        for t in tickets:
+            completions[t.client_id] = completions.get(t.client_id, 0) + 1
+        assert set(completions.values()) == {4}
+
+    def test_v2_partitioning_answer_identity_and_fairness(self, vectors):
+        trace = mixed_trace(vectors)
+        reference = self.reference_answers(vectors, trace)
+        scheduler = make_db(vectors).serve(
+            block_target=8, max_block=16, optimizer="v2"
+        )
+        tickets = scheduler.serve(trace)
+        assert [as_tuples(t.answers) for t in tickets] == reference
+        completions = {}
+        for t in tickets:
+            completions[t.client_id] = completions.get(t.client_id, 0) + 1
+        assert set(completions.values()) == {4}
+
+    def test_v2_with_planner_answer_identity(self, vectors):
+        from repro.core.planner import QueryPlanner
+
+        trace = mixed_trace(vectors)
+        reference = self.reference_answers(vectors, trace)
+        planner = QueryPlanner(
+            vectors, candidates=("scan", "xtree"), probe_queries=4
+        )
+        scheduler = make_db(vectors).serve(
+            block_target=8, max_block=16, optimizer="v2", planner=planner
+        )
+        tickets = scheduler.serve(trace)
+        assert [as_tuples(t.answers) for t in tickets] == reference
+
+
+class TestOptimizerV2Identity:
+    """v2 forced to one partition is byte-identical to v1."""
+
+    @pytest.mark.parametrize("access", ACCESS_METHODS)
+    def test_single_partition_matches_v1_counters(self, vectors, access):
+        trace = mixed_trace(vectors)
+        results = {}
+        for optimizer, share_bound in (("v1", None), ("v2", np.inf)):
+            db = make_db(vectors, access)
+            scheduler = db.serve(
+                block_target=4,
+                max_block=16,
+                optimizer=optimizer,
+                share_bound=share_bound,
+            )
+            tickets = scheduler.serve(trace)
+            results[optimizer] = (
+                [as_tuples(t.answers) for t in tickets],
+                db.counters.as_dict(),
+            )
+        assert results["v1"][0] == results["v2"][0]
+        assert results["v1"][1] == results["v2"][1]
+
+    def test_v2_rejects_unknown_optimizer(self, vectors):
+        with pytest.raises(ValueError):
+            make_db(vectors).serve(optimizer="v3")
+
+    def test_v2_emits_partition_metrics_and_plan_events(self, vectors):
+        observer = Observer(trace=True)
+        db = make_db(vectors, observer=observer)
+        scheduler = db.serve(block_target=8, max_block=16, optimizer="v2")
+        scheduler.serve(mixed_trace(vectors))
+        snapshot = observer.metrics.snapshot()
+        assert snapshot["histograms"]["planner.partition.count"]["count"] >= 1
+        assert snapshot["histograms"]["planner.partition.size"]["count"] >= 1
+        assert "planner.partition.sharing_factor" in snapshot["gauges"]
+        plans = [
+            r for r in observer.tracer.records() if r["name"] == "planner.plan"
+        ]
+        assert plans
+        for record in plans:
+            attrs = record["attrs"]
+            assert attrs["queries"]
+            assert attrs["size"] == len(attrs["queries"].split("|"))
