@@ -5,6 +5,8 @@
     python -m repro info                 # versions and components
     python -m repro demo                 # 60-second single-vs-multiple demo
     python -m repro serve                # dynamic-batching service demo
+    python -m repro serve --listen :0    # same scheduler behind a socket
+    python -m repro loadgen [...]        # record/replay open-loop load
     python -m repro calibrate [-d DIM]   # time dist/comparison on this machine
     python -m repro experiments [...]    # full evaluation (run_all)
     python -m repro report METRICS.json  # pretty-print an observability run
@@ -233,17 +235,48 @@ def _trace_qtypes(args: argparse.Namespace, n: int) -> list:
     return qtypes
 
 
+def _install_interrupt(args: argparse.Namespace) -> dict:
+    """Make SIGINT ask the serve demo loop for a graceful stop.
+
+    The first Ctrl-C sets a flag that :func:`_drive_trace` checks
+    between submits: the loop stops early, open sessions are retired by
+    the drain, and trace/timeline exports still flush.  A second Ctrl-C
+    falls back to the default KeyboardInterrupt.
+    """
+    import signal
+
+    flag = {"hit": False}
+    previous = signal.getsignal(signal.SIGINT)
+
+    def handler(signum, frame):  # pragma: no cover - signal context
+        if flag["hit"]:
+            signal.signal(signal.SIGINT, previous)
+            raise KeyboardInterrupt
+        flag["hit"] = True
+
+    signal.signal(signal.SIGINT, handler)
+    args._interrupt = flag
+    return flag
+
+
 def _drive_trace(scheduler, dataset, indices, args: argparse.Namespace) -> list:
     """Submit the deterministic round-robin client trace and drain.
 
     Each simulated client submits its queries in turn, with idle polls
     interleaved so the deadline rule exercises partially filled blocks.
+    An interrupt flag (see :func:`_install_interrupt`) stops submission
+    between queries; the final drain still completes whatever was
+    admitted, so no ticket is ever abandoned half-served.
     """
+    interrupt = getattr(args, "_interrupt", None)
     qtypes = _trace_qtypes(args, args.clients * args.queries_per_client)
     tickets = []
     position = 0
     for _round in range(args.queries_per_client):
         for client in range(args.clients):
+            if interrupt is not None and interrupt["hit"]:
+                scheduler.drain()
+                return tickets
             tickets.append(
                 scheduler.submit(
                     dataset[indices[position]],
@@ -263,6 +296,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import Observer
     from repro.workloads import make_gaussian_mixture, sample_database_queries
 
+    # Graceful-interrupt flag for the demo loop: installed before the
+    # (potentially slow) dataset build so a Ctrl-C anywhere in the run
+    # stops at the next submit boundary instead of dying mid-stream.
+    # --listen mode manages its own signal handlers on the event loop.
+    interrupt = (
+        _install_interrupt(args) if not args.listen else {"hit": False}
+    )
     dataset = make_gaussian_mixture(
         n=args.objects, dimension=12, n_clusters=30, cluster_std=0.03, seed=0
     )
@@ -311,6 +351,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         planner=planner,
         share_bound=args.share_bound,
     )
+    if args.listen:
+        return _serve_listen(args, database, scheduler, observer, timeline)
     if args.plan:
         from repro.core.planner import QueryPlanner
 
@@ -334,6 +376,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     tickets = _drive_trace(scheduler, dataset, indices, args)
     assert all(ticket.done for ticket in tickets)
+    if interrupt["hit"]:
+        # Graceful SIGINT: the drain above retired every admitted
+        # session; flush the exports the run was asked for and exit
+        # with the conventional interrupted status.
+        print(
+            f"interrupted: retired {len(tickets)} admitted queries "
+            f"(all drained), flushing exports"
+        )
+        _flush_timeline(timeline, args)
+        _flush_observer(observer, args)
+        return 130
 
     snapshot = observer.metrics.snapshot()
     histograms = snapshot.get("histograms", {})
@@ -435,6 +488,208 @@ def _evaluate_slo(spec_path: str, snapshot: dict, args) -> int:
             handle.write("\n")
         print(f"wrote SLO evaluation to {report_path}")
     return 1 if any(result.status == "breach" for result in results) else 0
+
+
+def _parse_hostport(spec: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """Split ``HOST:PORT`` (or bare ``PORT``) into its parts."""
+    if ":" in spec:
+        host, _, port_text = spec.rpartition(":")
+        host = host or default_host
+    else:
+        host, port_text = default_host, spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"invalid address {spec!r}: port must be an integer")
+    return host, port
+
+
+def _serve_listen(args, database, scheduler, observer, timeline) -> int:
+    """``repro serve --listen``: the scheduler behind a real socket.
+
+    Runs the asyncio front-end until SIGINT/SIGTERM, then shuts down
+    gracefully -- open sessions drain, every pending ticket is delivered
+    (or the client told ``shutdown``), and trace/timeline/SLO exports
+    flush before exit.
+    """
+    import asyncio
+    import signal
+
+    from repro.net import QueryServer
+
+    host, port = _parse_hostport(args.listen)
+
+    async def run() -> dict:
+        server = QueryServer(
+            scheduler,
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            shed_depth=args.shed_depth,
+            poll_interval=args.poll_interval,
+        )
+        bound_host, bound_port = await server.start()
+        print(
+            f"listening on {bound_host}:{bound_port} "
+            f"(access {database.access_method.name}, "
+            f"block target {scheduler.block_target}, "
+            f"poll interval {args.poll_interval:g}s)",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.request_shutdown)
+        await server.serve_until_shutdown()
+        return server.stats()
+
+    stats = asyncio.run(run())
+    print(
+        f"served {stats['results']} results "
+        f"({stats['degraded_results']} degraded, {stats['sheds']} shed, "
+        f"{stats['errors']} protocol errors)"
+    )
+    exit_code = 0
+    if args.slo:
+        exit_code = _evaluate_slo(args.slo, observer.metrics.snapshot(), args)
+    _flush_timeline(timeline, args)
+    _flush_observer(observer, args)
+    return exit_code
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Record or replay an open-loop query trace (see docs/service.md)."""
+    import asyncio
+    import json
+
+    from repro.workloads.loadgen import (
+        compare_answers,
+        load_trace,
+        record_trace,
+        replay_in_process,
+        replay_over_wire,
+        save_trace,
+    )
+
+    if args.trace and not (args.record or args.connect or args.in_process):
+        print(
+            "loadgen: --trace needs --connect or --in-process to replay",
+            file=sys.stderr,
+        )
+        return 2
+    if args.record:
+        trace = record_trace(
+            args.queries,
+            rate=args.rate,
+            n_clients=args.clients,
+            objects=args.objects,
+            k=args.k,
+            mix=args.mix,
+            seed=args.seed,
+        )
+        n = save_trace(trace, args.record)
+        print(
+            f"recorded {n} arrivals over {trace.duration:.3f}s "
+            f"({args.rate:g} q/s offered, {args.clients} clients, "
+            f"{'mixed' if args.mix else 'k-NN'}) to {args.record}"
+        )
+        return 0
+    if args.trace:
+        trace = load_trace(args.trace)
+        print(
+            f"trace {args.trace}: {len(trace)} arrivals over "
+            f"{trace.duration:.3f}s "
+            f"({trace.meta.get('n_clients')} clients, "
+            f"{trace.meta.get('objects')} objects)"
+        )
+    else:
+        trace = record_trace(
+            args.queries,
+            rate=args.rate,
+            n_clients=args.clients,
+            objects=args.objects,
+            k=args.k,
+            mix=args.mix,
+            seed=args.seed,
+        )
+    if args.connect:
+        host, port = _parse_hostport(args.connect)
+        answers, report = asyncio.run(
+            replay_over_wire(
+                trace,
+                host,
+                port,
+                speed=args.speed,
+                stream=args.stream,
+                max_connections=args.connections,
+            )
+        )
+    elif args.in_process:
+        answers, report = replay_in_process(
+            trace, access=args.access, engine=args.engine
+        )
+    else:
+        print(
+            "loadgen: need one of --record, --connect or --in-process",
+            file=sys.stderr,
+        )
+        return 2
+    print(report.render())
+    exit_code = 0
+    if args.expect_degraded and report.degraded == 0:
+        print(
+            "FAIL: --expect-degraded, but no degraded answer reached "
+            "the client"
+        )
+        exit_code = 1
+    if args.verify:
+        # Fault-free in-process reference on the same trace: answers the
+        # service actually delivered (not shed, not degraded) must be
+        # byte-identical to it, network or no network.
+        reference, _ = replay_in_process(
+            trace, access=args.access, engine=args.engine
+        )
+        divergent = compare_answers(answers, reference, skip=report.degraded_mask)
+        compared = sum(
+            1
+            for position, got in enumerate(answers)
+            if got is not None and not report.degraded_mask[position]
+        )
+        if divergent:
+            print(
+                f"FAIL: {len(divergent)}/{compared} delivered answers "
+                f"diverge from the in-process reference "
+                f"(first at trace position {divergent[0]})"
+            )
+            exit_code = 1
+        else:
+            print(
+                f"verified: {compared} delivered answers byte-identical "
+                f"to the in-process reference "
+                f"({report.degraded} degraded skipped, "
+                f"{report.shed} shed skipped)"
+            )
+    if args.bench_out:
+        payload = {
+            "benchmark": "net",
+            "n_objects": int(trace.meta.get("objects", 0)),
+            "n_queries": len(trace),
+            "offered_rate": report.offered_rate,
+            "rows": [{**report.as_dict(), "seconds": report.wall_seconds}],
+        }
+        with open(args.bench_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote benchmark payload to {args.bench_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(report.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote client-observed metrics snapshot to {args.metrics_out}")
+    if args.slo:
+        exit_code = max(
+            exit_code, _evaluate_slo(args.slo, report.snapshot(), args)
+        )
+    return exit_code
 
 
 def _report_serve_faults(
@@ -1011,7 +1266,167 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write the SLO evaluation results as JSON (CI artifact)",
     )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the scheduler over a socket (length-prefixed JSON "
+        "protocol, see docs/service.md) instead of the simulated demo "
+        "trace; port 0 picks a free port; SIGINT/SIGTERM drain and "
+        "shut down gracefully",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="wall-clock interval of idle scheduler polls in --listen "
+        "mode (the deadline clock); 0 disables the pump so scheduling "
+        "is purely request-driven and reproduces the in-process flush "
+        "grouping exactly",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-connection bound on unanswered submits before the "
+        "server sheds (--listen mode)",
+    )
+    serve.add_argument(
+        "--shed-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="global admission bound: shed new submits once the "
+        "scheduler queue holds this many tickets (--listen mode; "
+        "default: the scheduler's own max-queue pressure bound)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="record or replay an open-loop query trace against the "
+        "service (in-process or over a socket)",
+    )
+    loadgen.add_argument(
+        "--record",
+        default=None,
+        metavar="FILE",
+        help="record a seeded open-loop arrival trace to FILE (JSONL) "
+        "and exit",
+    )
+    loadgen.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay this recorded trace instead of generating one",
+    )
+    loadgen.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="replay over the wire against a 'repro serve --listen' "
+        "server",
+    )
+    loadgen.add_argument(
+        "--in-process",
+        action="store_true",
+        help="replay through an in-process scheduler (the reference "
+        "path; builds the trace's dataset locally)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="offered arrival rate in queries/second when generating "
+        "a trace (seeded Poisson arrivals)",
+    )
+    loadgen.add_argument(
+        "--queries", type=int, default=200, help="arrivals to generate"
+    )
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument("--objects", type=int, default=15_000)
+    loadgen.add_argument("-k", type=int, default=10)
+    loadgen.add_argument(
+        "--mix",
+        action="store_true",
+        help="heterogeneous trace (alternating k-NN and range queries) "
+        "instead of pure k-NN",
+    )
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        help="replay clock multiplier over the recorded offsets "
+        "(1.0 = real time, 2.0 = twice as fast; 0 = no pacing, "
+        "submit as fast as the sockets accept)",
+    )
+    loadgen.add_argument(
+        "--stream",
+        action="store_true",
+        help="request per-answer streaming frames (enables TTFA "
+        "reporting; degraded partial answers stream the same way)",
+    )
+    loadgen.add_argument(
+        "--connections",
+        type=int,
+        default=8,
+        metavar="N",
+        help="socket connections to spread the trace's clients over",
+    )
+    loadgen.add_argument(
+        "--access",
+        default="xtree",
+        choices=["scan", "xtree", "mtree", "rstar", "vafile"],
+        help="access method of the in-process replay / verify reference",
+    )
+    loadgen.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", *engine_names()],
+    )
+    loadgen.add_argument(
+        "--verify",
+        action="store_true",
+        help="also replay in process on a fault-free database and "
+        "require every delivered non-degraded answer to be "
+        "byte-identical; non-zero exit on divergence",
+    )
+    loadgen.add_argument(
+        "--expect-degraded",
+        action="store_true",
+        help="fail unless at least one degraded (Def. 4 partial) "
+        "answer reached the client (chaos CI assertion)",
+    )
+    loadgen.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="FILE",
+        help="write the replay as a BENCH_net.json payload for "
+        "'repro bench --import-bench'",
+    )
+    loadgen.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the client-observed metrics snapshot as JSON",
+    )
+    loadgen.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="evaluate service-level objectives against the "
+        "client-observed snapshot; non-zero exit on any breach",
+    )
+    loadgen.add_argument(
+        "--slo-report",
+        default=None,
+        metavar="FILE",
+        help="write the SLO evaluation results as JSON (CI artifact)",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     plan = subparsers.add_parser(
         "plan",

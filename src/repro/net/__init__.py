@@ -1,0 +1,51 @@
+"""Network front-end: the query service behind a socket.
+
+The paper's multi-query engine pays off when many clients actually
+arrive concurrently; this package is the admission edge that lets them.
+It puts a small length-prefixed JSON wire protocol
+(:mod:`repro.net.protocol`) in front of the
+:class:`~repro.service.QueryScheduler`: an asyncio server
+(:class:`~repro.net.server.QueryServer`) with per-client admission
+control, bounded backpressure and explicit load shedding, and an
+asyncio client (:class:`~repro.net.client.QueryClient`) whose open-loop
+submit face the trace-driven load generator
+(:mod:`repro.workloads.loadgen`) is built on.
+
+Answers that cross the wire are byte-identical to the in-process
+scheduler path; degraded (Def. 4 partial) answers stream to the client
+with their completeness bound instead of being dropped.
+"""
+
+from repro.net.client import QueryClient, WireError, WireResult
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameCorrupt,
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    answers_from_wire,
+    answers_to_wire,
+    encode_frame,
+    qtype_from_wire,
+    qtype_to_wire,
+)
+from repro.net.server import QueryServer
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "FrameCorrupt",
+    "FrameDecoder",
+    "FrameTooLarge",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryClient",
+    "QueryServer",
+    "WireError",
+    "WireResult",
+    "answers_from_wire",
+    "answers_to_wire",
+    "encode_frame",
+    "qtype_from_wire",
+    "qtype_to_wire",
+]

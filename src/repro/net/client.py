@@ -1,0 +1,326 @@
+"""Asyncio client of the network front-end.
+
+:class:`QueryClient` speaks the protocol of :mod:`repro.net.protocol`
+on one connection: submits return a future immediately (the open-loop
+shape the load generator needs), a background reader task routes every
+inbound frame to its request, and per-request timing (submit, first
+answer, completion) is captured for latency and TTFA reporting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.answers import Answer
+from repro.core.types import QueryType
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    answers_from_wire,
+    encode_frame,
+    qtype_to_wire,
+)
+
+
+class WireError(Exception):
+    """An ``error`` frame the server attributed to this client/request."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+@dataclass
+class WireResult:
+    """Outcome of one submitted query as seen from the client.
+
+    Exactly one of the terminal states holds: ``shed`` is ``True`` (no
+    answers), or ``answers`` is the delivered list (``degraded`` marks
+    a Def. 4 partial answer set with its ``completeness`` bound).
+    """
+
+    request_id: int
+    answers: list[Answer] = field(default_factory=list)
+    shed: bool = False
+    shed_reason: str | None = None
+    queue_depth: int | None = None
+    degraded: bool = False
+    completeness: float | None = None
+    batch_size: int | None = None
+    #: Streamed ``answer`` frames received before the result.
+    streamed: int = 0
+    #: ``time.perf_counter()`` timestamps of the request lifecycle.
+    submitted_at: float = 0.0
+    first_answer_at: float | None = None
+    completed_at: float | None = None
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submit to terminal frame."""
+        if self.completed_at is None:
+            raise RuntimeError("request has not completed")
+        return self.completed_at - self.submitted_at
+
+    @property
+    def ttfa(self) -> float | None:
+        """Seconds to the first streamed answer (``None`` unstreamed)."""
+        if self.first_answer_at is None:
+            return None
+        return self.first_answer_at - self.submitted_at
+
+
+class QueryClient:
+    """One protocol connection; use :meth:`connect` to open it."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: dict[str, Any],
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.hello = hello
+        self._ids = itertools.count(1)
+        self._inflight: dict[int, tuple[WireResult, asyncio.Future[WireResult]]] = {}
+        self._stats_waiters: list[asyncio.Future[dict[str, Any]]] = []
+        self._bye_waiter: asyncio.Future[None] | None = None
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        client: str = "repro-client",
+        timeout: float = 10.0,
+        retry_interval: float = 0.1,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> "QueryClient":
+        """Open, retrying until ``timeout`` (server may still be binding)."""
+        deadline = time.perf_counter() + timeout
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                if time.perf_counter() >= deadline:
+                    raise
+                await asyncio.sleep(retry_interval)
+        writer.write(
+            encode_frame(
+                {"type": "hello", "protocol": PROTOCOL_VERSION, "client": client}
+            )
+        )
+        await writer.drain()
+        decoder = FrameDecoder(max_frame)
+        messages: list[dict[str, Any]] = []
+        while not messages:
+            data = await reader.read(65536)
+            if not data:
+                raise ConnectionError("server closed during handshake")
+            messages = decoder.feed(data)
+        hello = messages.pop(0)
+        if hello.get("type") == "error":
+            raise WireError(hello.get("code", "?"), hello.get("message", ""))
+        if hello.get("type") != "hello_ok":
+            raise ConnectionError(f"unexpected handshake reply: {hello}")
+        self = cls(reader, writer, hello)
+        # Frames that arrived glued to the handshake reply.
+        for message in messages:
+            self._dispatch(message)
+        self._decoder = decoder
+        return self
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self,
+        query: Any,
+        qtype: QueryType,
+        stream: bool = False,
+        db_index: int | None = None,
+    ) -> asyncio.Future[WireResult]:
+        """Send one query; returns a future resolving to its result.
+
+        Open loop by construction: the coroutine returns as soon as the
+        frame is written, so a caller can keep arrivals flowing at the
+        trace rate regardless of service latency.
+        """
+        request_id = next(self._ids)
+        result = WireResult(request_id=request_id)
+        future: asyncio.Future[WireResult] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[request_id] = (result, future)
+        message: dict[str, Any] = {
+            "type": "submit",
+            "id": request_id,
+            "query": [float(value) for value in query],
+            "qtype": qtype_to_wire(qtype),
+            "stream": stream,
+        }
+        if db_index is not None:
+            message["db_index"] = int(db_index)
+        result.submitted_at = time.perf_counter()
+        await self._send(message)
+        return future
+
+    async def ask(
+        self,
+        query: Any,
+        qtype: QueryType,
+        stream: bool = False,
+        db_index: int | None = None,
+    ) -> WireResult:
+        """Submit and await one query (the closed-loop convenience)."""
+        return await (await self.submit(query, qtype, stream, db_index))
+
+    async def stats(self) -> dict[str, Any]:
+        """Fetch the server's live counters."""
+        future: asyncio.Future[dict[str, Any]] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._stats_waiters.append(future)
+        await self._send({"type": "stats"})
+        return await future
+
+    async def retire(self, request_id: int) -> None:
+        """Abandon one in-flight request (its answers are dropped)."""
+        pair = self._inflight.pop(request_id, None)
+        if pair is not None and not pair[1].done():
+            pair[1].cancel()
+        await self._send({"type": "retire", "id": request_id})
+
+    async def bye(self) -> None:
+        """Graceful goodbye: the server drains, answers, and closes."""
+        if self._closed:
+            return
+        self._bye_waiter = asyncio.get_running_loop().create_future()
+        await self._send({"type": "bye"})
+        try:
+            await asyncio.wait_for(self._bye_waiter, timeout=60.0)
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        """Drop the connection; outstanding futures are cancelled."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        for _, future in self._inflight.values():
+            if not future.done():
+                future.cancel()
+        self._inflight.clear()
+
+    # ------------------------------------------------------------------
+    # Inbound frame routing
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        decoder = getattr(self, "_decoder", None) or FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                try:
+                    messages = decoder.feed(data)
+                except ProtocolError:
+                    break
+                for message in messages:
+                    self._dispatch(message)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            raise
+        finally:
+            if self._bye_waiter is not None and not self._bye_waiter.done():
+                self._bye_waiter.set_result(None)
+
+    def _dispatch(self, message: dict[str, Any]) -> None:
+        mtype = message.get("type")
+        if mtype == "answer":
+            pair = self._inflight.get(message.get("id", -1))
+            if pair is not None:
+                result, _ = pair
+                if result.first_answer_at is None:
+                    result.first_answer_at = time.perf_counter()
+                result.streamed += 1
+        elif mtype == "result":
+            self._finish(
+                message,
+                answers=answers_from_wire(message.get("answers", [])),
+                degraded=bool(message.get("degraded", False)),
+                completeness=message.get("completeness"),
+                batch_size=message.get("batch_size"),
+            )
+        elif mtype == "shed":
+            self._finish(
+                message,
+                shed=True,
+                shed_reason=message.get("reason"),
+                queue_depth=message.get("queue_depth"),
+            )
+        elif mtype == "stats":
+            if self._stats_waiters:
+                future = self._stats_waiters.pop(0)
+                if not future.done():
+                    future.set_result(message)
+        elif mtype == "error":
+            request_id = message.get("id")
+            error = WireError(
+                message.get("code", "?"), message.get("message", "")
+            )
+            pair = (
+                self._inflight.pop(request_id, None)
+                if isinstance(request_id, int)
+                else None
+            )
+            if pair is not None:
+                if not pair[1].done():
+                    pair[1].set_exception(error)
+            elif self._stats_waiters:
+                future = self._stats_waiters.pop(0)
+                if not future.done():
+                    future.set_exception(error)
+        elif mtype == "bye_ok" or mtype == "shutdown":
+            if self._bye_waiter is not None and not self._bye_waiter.done():
+                self._bye_waiter.set_result(None)
+
+    def _finish(self, message: dict[str, Any], **fields: Any) -> None:
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            return
+        pair = self._inflight.pop(request_id, None)
+        if pair is None:
+            return
+        result, future = pair
+        for key, value in fields.items():
+            setattr(result, key, value)
+        result.completed_at = time.perf_counter()
+        if not future.done():
+            future.set_result(result)
+
+    async def _send(self, message: dict[str, Any]) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()

@@ -1,0 +1,199 @@
+"""Length-prefixed JSON wire protocol of the network front-end.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object with a ``"type"`` field.
+The framing layer is deliberately tiny -- no negotiation beyond a
+protocol-version check in ``hello``, no compression, no partial
+messages -- because the interesting guarantees live one layer up: every
+``submit`` is answered by exactly one of ``result`` / ``shed`` /
+``error`` (never a silent drop), and answers that cross the wire are
+byte-identical to the in-process :class:`~repro.service.QueryScheduler`
+path (JSON floats round-trip exactly via ``repr``).
+
+See ``docs/service.md`` for the full message catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.answers import Answer
+from repro.core.types import QueryType
+
+#: Wire protocol version; ``hello`` frames carrying any other value are
+#: rejected with a ``bad-version`` error.
+PROTOCOL_VERSION = 1
+
+#: Frame header: one big-endian u32 payload length.
+HEADER = struct.Struct(">I")
+
+#: Default upper bound on one frame's payload (1 MiB).  A 64-d float
+#: query is ~1.5 kB of JSON; a 1000-answer result is ~40 kB -- the cap
+#: protects the server from hostile lengths, not honest traffic.
+DEFAULT_MAX_FRAME = 1 << 20
+
+#: Error codes carried by ``{"type": "error"}`` frames.
+ERR_TOO_LARGE = "too-large"
+ERR_BAD_JSON = "bad-json"
+ERR_BAD_TYPE = "bad-type"
+ERR_BAD_QUERY = "bad-query"
+ERR_BAD_VERSION = "bad-version"
+ERR_BAD_HANDSHAKE = "bad-handshake"
+
+
+class ProtocolError(Exception):
+    """Base class of framing-layer failures."""
+
+    code = "protocol"
+
+    #: Whether the connection can keep going after this error (the frame
+    #: boundary is still trustworthy).
+    recoverable = False
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame header announced a payload beyond the size cap."""
+
+    code = ERR_TOO_LARGE
+
+
+class FrameCorrupt(ProtocolError):
+    """A complete frame's payload was not a JSON object.
+
+    The length prefix was intact, so the stream can resynchronise on
+    the next frame: this error is recoverable.
+    """
+
+    code = ERR_BAD_JSON
+    recoverable = True
+
+
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """Serialise one message into a length-prefixed frame.
+
+    ``allow_nan=False`` keeps the wire format standard JSON: infinite
+    query-type fields are mapped to the string ``"inf"`` by
+    :func:`qtype_to_wire` before they reach this point.
+    """
+    payload = json.dumps(
+        message, separators=(",", ":"), sort_keys=True, allow_nan=False
+    ).encode("utf-8")
+    return HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser tolerating arbitrary read boundaries.
+
+    Feed it whatever ``recv`` returned -- half a header, three frames
+    and a bit -- and it yields every complete message.  Oversized
+    frames raise :class:`FrameTooLarge` *before* buffering the payload;
+    undecodable payloads raise :class:`FrameCorrupt` but leave the
+    decoder aligned on the next frame boundary.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        #: Payload length of the frame being assembled (None while the
+        #: header itself is incomplete).
+        self._expect: int | None = None
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Consume bytes; return every message completed by them."""
+        self._buffer.extend(data)
+        messages: list[dict[str, Any]] = []
+        while True:
+            if self._expect is None:
+                if len(self._buffer) < HEADER.size:
+                    break
+                (length,) = HEADER.unpack_from(self._buffer)
+                if length > self.max_frame:
+                    raise FrameTooLarge(
+                        f"frame of {length} bytes exceeds the "
+                        f"{self.max_frame}-byte cap"
+                    )
+                del self._buffer[: HEADER.size]
+                self._expect = length
+            if len(self._buffer) < self._expect:
+                break
+            payload = bytes(self._buffer[: self._expect])
+            del self._buffer[: self._expect]
+            self._expect = None
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameCorrupt(f"undecodable frame payload: {exc}") from exc
+            if not isinstance(message, dict):
+                raise FrameCorrupt(
+                    f"frame payload is {type(message).__name__}, "
+                    f"expected a JSON object"
+                )
+            messages.append(message)
+        return messages
+
+
+# ----------------------------------------------------------------------
+# Value (de)serialisation
+# ----------------------------------------------------------------------
+
+
+def _bound_to_wire(value: float) -> float | str:
+    return "inf" if math.isinf(value) else float(value)
+
+
+def _bound_from_wire(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"expected a number or 'inf', got {value!r}")
+    return float(value)
+
+
+def qtype_to_wire(qtype: QueryType) -> dict[str, Any]:
+    """JSON-safe form of a :class:`QueryType` (``inf`` as a string)."""
+    return {
+        "kind": qtype.kind,
+        "range": _bound_to_wire(qtype.range),
+        "cardinality": _bound_to_wire(qtype.cardinality),
+    }
+
+
+def qtype_from_wire(payload: Mapping[str, Any]) -> QueryType:
+    """Rebuild a :class:`QueryType`; raises ``ValueError`` when invalid."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"qtype must be an object, got {payload!r}")
+    kind = payload.get("kind")
+    if not isinstance(kind, str):
+        raise ValueError(f"qtype.kind must be a string, got {kind!r}")
+    return QueryType(
+        range=_bound_from_wire(payload.get("range", "inf")),
+        cardinality=_bound_from_wire(payload.get("cardinality", "inf")),
+        kind=kind,
+    )
+
+
+def answers_to_wire(answers: Iterable[Answer]) -> list[list[float]]:
+    """``[[index, distance], ...]`` pairs, JSON round-trip exact."""
+    return [[int(a.index), float(a.distance)] for a in answers]
+
+
+def answers_from_wire(payload: Sequence[Sequence[float]]) -> list[Answer]:
+    """Rebuild the answer list of a ``result`` frame."""
+    return [Answer(int(index), float(distance)) for index, distance in payload]
+
+
+def query_from_wire(payload: Any) -> list[float]:
+    """Validate a submitted query vector (a non-empty number list)."""
+    if (
+        not isinstance(payload, list)
+        or not payload
+        or not all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in payload
+        )
+    ):
+        raise ValueError("query must be a non-empty array of numbers")
+    return [float(value) for value in payload]

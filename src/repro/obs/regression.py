@@ -232,6 +232,38 @@ def entries_from_optimizer(result: Mapping[str, Any]) -> dict[str, dict]:
     return entries
 
 
+def entries_from_net(result: Mapping[str, Any]) -> dict[str, dict]:
+    """Convert a ``BENCH_net.json`` payload into store entries.
+
+    One entry per replay mode (``in-process``, ``wire``).  Counters are
+    the served database's deterministic cost accounting -- identical
+    across modes by the wire path's byte-identity guarantee, so any
+    drift between the socket path and the in-process path fails
+    ``repro bench --check`` exactly.  Client-observed latency
+    percentiles and shed/degraded totals ride along as metadata.
+    """
+    entries: dict[str, dict] = {}
+    for row in result.get("rows", []):
+        entries[f"net/{row['mode']}/knn"] = make_entry(
+            row["seconds"],
+            counters=row.get("counters"),
+            meta={
+                "n_objects": result.get("n_objects"),
+                "n_queries": result.get("n_queries"),
+                "offered_rate": result.get("offered_rate"),
+                "queries_per_second": row.get("queries_per_second"),
+                "latency_p50_ms": row.get("latency_p50_ms"),
+                "latency_p99_ms": row.get("latency_p99_ms"),
+                "shed": row.get("shed"),
+                "degraded": row.get("degraded"),
+                "identical_to_in_process": result.get(
+                    "identical_to_in_process"
+                ),
+            },
+        )
+    return entries
+
+
 def entries_from_bench_file(path: str) -> dict[str, dict]:
     """Convert a committed ``BENCH_*.json`` file, dispatching on its kind."""
     with open(path) as handle:
@@ -249,6 +281,8 @@ def entries_from_bench_file(path: str) -> dict[str, dict]:
         return entries_from_prefilter(result)
     if kind == "optimizer":
         return entries_from_optimizer(result)
+    if kind == "net":
+        return entries_from_net(result)
     raise ValueError(f"unknown benchmark kind {kind!r} in {path!r}")
 
 

@@ -14,13 +14,35 @@ from repro.workloads.generators import (
     make_uniform,
     make_web_sessions,
 )
+from repro.workloads.loadgen import (
+    LoadReport,
+    LoadTrace,
+    TraceRecord,
+    compare_answers,
+    load_trace,
+    record_trace,
+    replay_in_process,
+    replay_over_wire,
+    save_trace,
+    trace_dataset,
+)
 from repro.workloads.queries import sample_database_queries
 
 __all__ = [
+    "LoadReport",
+    "LoadTrace",
+    "TraceRecord",
+    "compare_answers",
+    "load_trace",
     "make_astronomy",
     "make_gaussian_mixture",
     "make_image_histograms",
     "make_uniform",
     "make_web_sessions",
+    "record_trace",
+    "replay_in_process",
+    "replay_over_wire",
     "sample_database_queries",
+    "save_trace",
+    "trace_dataset",
 ]
